@@ -1,0 +1,16 @@
+"""Ablation: Isub-only vs Isuper-only vs both components (§4.2)."""
+
+from repro.experiments import ablation_components
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_ablation_igq_components(benchmark):
+    result = run_figure(
+        benchmark, ablation_components, dataset="aids", method="ggsx", **QUICK_SPARSE
+    )
+    rows = {row["components"]: row for row in result["rows"]}
+    assert set(rows) == {"isub+isuper", "isub only", "isuper only"}
+    # Each single component is at most as effective (in pruning) as both.
+    assert rows["isub+isuper"]["iso_test_speedup"] >= rows["isub only"]["iso_test_speedup"] - 1e-9
+    assert rows["isub+isuper"]["iso_test_speedup"] >= rows["isuper only"]["iso_test_speedup"] - 1e-9

@@ -1,0 +1,19 @@
+"""Ablation: utility-based replacement vs popularity-only vs FIFO (§5.1)."""
+
+from repro.experiments import ablation_replacement_policies
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_ablation_replacement_policies(benchmark):
+    result = run_figure(
+        benchmark,
+        ablation_replacement_policies,
+        dataset="pdbs",
+        method="grapes",
+        cache_size=20,
+        **QUICK_SPARSE,
+    )
+    policies = {row["policy"] for row in result["rows"]}
+    assert policies == {"utility", "hit_rate", "fifo"}
+    assert all(row["iso_test_speedup"] >= 1.0 for row in result["rows"])

@@ -1,0 +1,41 @@
+"""Ablation: VF2 vs Ullmann as the verification algorithm."""
+
+import time
+
+from repro.experiments import ExperimentConfig, get_database, get_queries
+from repro.isomorphism import Verifier
+from repro.methods import GGSXMethod
+
+
+def run_verifier(algorithm: str) -> dict:
+    config = ExperimentConfig(dataset="aids", method="ggsx", num_queries=40).resolved()
+    database = get_database(config.dataset, config.scale, config.dataset_seed)
+    queries = get_queries(config)[: config.num_queries]
+    method = GGSXMethod(max_path_length=config.max_path_length, verifier=Verifier(algorithm))
+    method.build_index(database)
+    start = time.perf_counter()
+    answers = 0
+    for query in queries:
+        answers += len(method.query(query).answers)
+    return {
+        "algorithm": algorithm,
+        "answers": answers,
+        "seconds": round(time.perf_counter() - start, 3),
+        "tests": method.verifier.stats.tests,
+    }
+
+
+def test_ablation_verifier_backends(benchmark):
+    results = benchmark.pedantic(
+        lambda: [run_verifier("vf2"), run_verifier("ullmann")],
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    for row in results:
+        print(row)
+    vf2, ullmann = results
+    # Both verifiers must agree on the answers; VF2 is the faster default.
+    assert vf2["answers"] == ullmann["answers"]
+    assert vf2["tests"] == ullmann["tests"]

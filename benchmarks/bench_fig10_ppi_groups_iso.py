@@ -1,0 +1,17 @@
+"""Figure 10: iso-test speedup per query-size group (PPI-like, Grapes(6))."""
+
+from repro.experiments import figure10_query_groups_ppi_iso
+
+from .conftest import GROUP_CACHE_SIZES, QUICK_DENSE, run_figure
+
+
+def test_fig10_query_group_iso_speedup_ppi(benchmark):
+    result = run_figure(
+        benchmark,
+        figure10_query_groups_ppi_iso,
+        cache_sizes=GROUP_CACHE_SIZES,
+        **QUICK_DENSE,
+    )
+    overall = [row for row in result["rows"] if row["query_group"] == "all"]
+    assert len(overall) == len(GROUP_CACHE_SIZES)
+    assert all(row["speedup"] >= 1.0 for row in overall)

@@ -1,0 +1,16 @@
+"""Figure 11: iso-test speedup per query-size group (dense synthetic, Grapes(6))."""
+
+from repro.experiments import figure11_query_groups_synthetic_iso
+
+from .conftest import GROUP_CACHE_SIZES, QUICK_DENSE, run_figure
+
+
+def test_fig11_query_group_iso_speedup_synthetic(benchmark):
+    result = run_figure(
+        benchmark,
+        figure11_query_groups_synthetic_iso,
+        cache_sizes=GROUP_CACHE_SIZES,
+        **QUICK_DENSE,
+    )
+    overall = [row for row in result["rows"] if row["query_group"] == "all"]
+    assert all(row["speedup"] >= 1.0 for row in overall)

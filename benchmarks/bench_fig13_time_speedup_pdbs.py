@@ -1,0 +1,11 @@
+"""Figure 13: speedup in query processing time, PDBS-like dataset."""
+
+from repro.experiments import figure13_time_speedup_pdbs
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_fig13_time_speedup_pdbs(benchmark):
+    result = run_figure(benchmark, figure13_time_speedup_pdbs, **QUICK_SPARSE)
+    assert len(result["rows"]) == 16
+    assert any(row["speedup"] > 1.2 for row in result["rows"])

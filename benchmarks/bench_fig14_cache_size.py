@@ -1,0 +1,13 @@
+"""Figure 14: query-time speedup vs iGQ cache size (PDBS-like, Grapes(6))."""
+
+from repro.experiments import figure14_cache_size_time
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_fig14_cache_size_time_speedup(benchmark):
+    result = run_figure(
+        benchmark, figure14_cache_size_time, cache_sizes=(30, 60, 90), **QUICK_SPARSE
+    )
+    assert [row["cache_size"] for row in result["rows"]] == [30, 60, 90]
+    assert all(row["iso_test_speedup"] >= 1.0 for row in result["rows"])

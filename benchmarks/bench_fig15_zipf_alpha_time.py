@@ -1,0 +1,13 @@
+"""Figure 15: query-time speedup vs Zipf skew α (PDBS-like, Grapes(6))."""
+
+from repro.experiments import figure15_zipf_alpha_time
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_fig15_zipf_alpha_time_speedup(benchmark):
+    result = run_figure(
+        benchmark, figure15_zipf_alpha_time, alphas=(1.1, 1.4, 2.0), **QUICK_SPARSE
+    )
+    speedups = {row["alpha"]: row["speedup"] for row in result["rows"]}
+    assert set(speedups) == {1.1, 1.4, 2.0}

@@ -1,0 +1,15 @@
+"""Figure 16: query-time speedup per query-size group (PPI-like, Grapes(6))."""
+
+from repro.experiments import figure16_query_groups_ppi_time
+
+from .conftest import GROUP_CACHE_SIZES, QUICK_DENSE, run_figure
+
+
+def test_fig16_query_group_time_speedup_ppi(benchmark):
+    result = run_figure(
+        benchmark,
+        figure16_query_groups_ppi_time,
+        cache_sizes=GROUP_CACHE_SIZES,
+        **QUICK_DENSE,
+    )
+    assert any(row["query_group"] == "all" for row in result["rows"])

@@ -1,0 +1,15 @@
+"""Figure 17: query-time speedup per query-size group (dense synthetic, Grapes(6))."""
+
+from repro.experiments import figure17_query_groups_synthetic_time
+
+from .conftest import GROUP_CACHE_SIZES, QUICK_DENSE, run_figure
+
+
+def test_fig17_query_group_time_speedup_synthetic(benchmark):
+    result = run_figure(
+        benchmark,
+        figure17_query_groups_synthetic_time,
+        cache_sizes=GROUP_CACHE_SIZES,
+        **QUICK_DENSE,
+    )
+    assert any(row["query_group"] == "all" for row in result["rows"])

@@ -1,0 +1,19 @@
+"""Figure 1: filtering vs verification share of query processing time."""
+
+from repro.experiments import figure1_time_breakdown
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_fig1_time_breakdown(benchmark):
+    result = run_figure(
+        benchmark,
+        figure1_time_breakdown,
+        datasets=("aids", "pdbs"),
+        methods=("ggsx", "grapes", "ctindex"),
+        **QUICK_SPARSE,
+    )
+    assert len(result["rows"]) == 6
+    # The paper's point: verification dominates the total query time.
+    for row in result["rows"]:
+        assert row["verify_time_pct"] >= row["filter_time_pct"] * 0.5

@@ -1,0 +1,12 @@
+"""Figure 2: candidates / answers / false positives on the AIDS-like dataset."""
+
+from repro.experiments import figure2_filtering_aids
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_fig2_filtering_power_aids(benchmark):
+    result = run_figure(benchmark, figure2_filtering_aids, **QUICK_SPARSE)
+    for row in result["rows"]:
+        assert row["avg_candidates"] >= row["avg_answers"]
+        assert row["avg_false_positives"] >= 0

@@ -1,0 +1,11 @@
+"""Figure 3: candidates / answers / false positives on the PDBS-like dataset."""
+
+from repro.experiments import figure3_filtering_pdbs
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_fig3_filtering_power_pdbs(benchmark):
+    result = run_figure(benchmark, figure3_filtering_pdbs, **QUICK_SPARSE)
+    for row in result["rows"]:
+        assert row["avg_candidates"] >= row["avg_answers"]

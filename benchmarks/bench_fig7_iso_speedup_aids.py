@@ -1,0 +1,14 @@
+"""Figure 7: speedup in number of isomorphism tests, AIDS-like dataset."""
+
+from repro.experiments import figure7_iso_speedup_aids
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_fig7_iso_test_speedup_aids(benchmark):
+    result = run_figure(benchmark, figure7_iso_speedup_aids, **QUICK_SPARSE)
+    assert len(result["rows"]) == 16  # 4 workloads x 4 methods
+    # iGQ never increases the number of isomorphism tests and should reduce
+    # it on every workload/method combination.
+    assert all(row["speedup"] >= 1.0 for row in result["rows"])
+    assert any(row["speedup"] > 1.2 for row in result["rows"])

@@ -1,0 +1,12 @@
+"""Figure 8: speedup in number of isomorphism tests, PDBS-like dataset."""
+
+from repro.experiments import figure8_iso_speedup_pdbs
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_fig8_iso_test_speedup_pdbs(benchmark):
+    result = run_figure(benchmark, figure8_iso_speedup_pdbs, **QUICK_SPARSE)
+    assert len(result["rows"]) == 16
+    assert all(row["speedup"] >= 1.0 for row in result["rows"])
+    assert any(row["speedup"] > 1.5 for row in result["rows"])

@@ -1,0 +1,15 @@
+"""Figure 9: iso-test speedup vs Zipf skew α (PDBS-like, Grapes(6))."""
+
+from repro.experiments import figure9_zipf_alpha_iso
+
+from .conftest import QUICK_SPARSE, run_figure
+
+
+def test_fig9_zipf_alpha_iso_speedup(benchmark):
+    result = run_figure(
+        benchmark, figure9_zipf_alpha_iso, alphas=(1.1, 1.4, 2.0), **QUICK_SPARSE
+    )
+    speedups = {row["alpha"]: row["speedup"] for row in result["rows"]}
+    assert set(speedups) == {1.1, 1.4, 2.0}
+    # The paper's trend: more skew brings more benefit.
+    assert speedups[2.0] >= speedups[1.1]

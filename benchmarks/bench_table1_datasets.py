@@ -1,0 +1,10 @@
+"""Table 1: characteristics of the (generated stand-in) datasets."""
+
+from repro.experiments import table1
+
+from .conftest import run_figure
+
+
+def test_table1_dataset_characteristics(benchmark):
+    result = run_figure(benchmark, table1, scale=1.0)
+    assert len(result["rows"]) == 4

@@ -1,0 +1,15 @@
+"""Setuptools shim.
+
+The execution environment ships setuptools 65 without the ``wheel`` package
+and has no network access, so PEP 660 editable installs (which need
+``bdist_wheel``) are unavailable.  This file enables the legacy editable
+install path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

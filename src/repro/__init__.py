@@ -1,0 +1,69 @@
+"""iGQ reproduction: indexing query graphs to speed up graph query processing.
+
+This package reproduces the system described in
+
+    Jing Wang, Nikos Ntarmos, Peter Triantafillou.
+    "Indexing Query Graphs to Speedup Graph Query Processing", EDBT 2016.
+
+Public API overview
+-------------------
+
+* :mod:`repro.graphs` — the labeled-graph substrate (graphs, databases, I/O).
+* :mod:`repro.isomorphism` — VF2 / Ullmann subgraph isomorphism and the
+  cost model used by iGQ's replacement policy.
+* :mod:`repro.features` — path / tree / cycle feature extraction and the
+  feature trie.
+* :mod:`repro.methods` — the filter-then-verify base methods: GraphGrepSX,
+  Grapes, CT-Index (plus a scan baseline).
+* :mod:`repro.core` — iGQ itself: the query cache, the Isub and Isuper
+  component indexes, the utility-based replacement policy and the
+  :class:`~repro.core.engine.IGQ` engine that wraps any base method.
+* :mod:`repro.datasets` / :mod:`repro.workloads` — synthetic stand-ins for
+  the paper's datasets and the four query workloads.
+* :mod:`repro.experiments` — drivers that regenerate every figure of the
+  paper's evaluation.
+
+Quickstart
+----------
+
+>>> from repro import IGQ, create_method, load_dataset, QueryGenerator, WorkloadSpec
+>>> database = load_dataset("aids", scale=0.2)
+>>> method = create_method("ggsx")
+>>> engine = IGQ(method, cache_size=50, window_size=10)
+>>> engine.build_index(database)
+>>> queries = QueryGenerator(database, WorkloadSpec(name="zipf-zipf",
+...     graph_distribution="zipf", node_distribution="zipf")).generate(20)
+>>> results = [engine.query(q) for q in queries]
+"""
+
+from .core.engine import IGQ, IGQQueryResult
+from .datasets.registry import available_datasets, load_dataset
+from .graphs.database import GraphDatabase
+from .graphs.graph import GraphError, LabeledGraph
+from .isomorphism.verifier import Verifier
+from .isomorphism.vf2 import is_subgraph_isomorphic
+from .methods import available_methods, create_method
+from .methods.base import QueryResult, SubgraphQueryMethod
+from .workloads.generator import QueryGenerator, WorkloadSpec, standard_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IGQ",
+    "IGQQueryResult",
+    "GraphDatabase",
+    "GraphError",
+    "LabeledGraph",
+    "QueryGenerator",
+    "QueryResult",
+    "SubgraphQueryMethod",
+    "Verifier",
+    "WorkloadSpec",
+    "available_datasets",
+    "available_methods",
+    "create_method",
+    "is_subgraph_isomorphic",
+    "load_dataset",
+    "standard_workloads",
+    "__version__",
+]

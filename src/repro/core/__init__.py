@@ -1,0 +1,31 @@
+"""iGQ core: query cache, component indexes, replacement policy, engine."""
+
+from .cache import CacheEntry, QueryCache
+from .engine import IGQ, IGQQueryResult
+from .isub import SubgraphQueryIndex
+from .isuper import SupergraphQueryIndex
+from .maintenance import IndexMaintenance, MaintenanceReport, PendingQuery
+from .replacement import (
+    HitRateReplacementPolicy,
+    LeastRecentlyAddedPolicy,
+    ReplacementPolicy,
+    UtilityReplacementPolicy,
+    create_policy,
+)
+
+__all__ = [
+    "IGQ",
+    "IGQQueryResult",
+    "CacheEntry",
+    "QueryCache",
+    "SubgraphQueryIndex",
+    "SupergraphQueryIndex",
+    "IndexMaintenance",
+    "MaintenanceReport",
+    "PendingQuery",
+    "ReplacementPolicy",
+    "UtilityReplacementPolicy",
+    "HitRateReplacementPolicy",
+    "LeastRecentlyAddedPolicy",
+    "create_policy",
+]

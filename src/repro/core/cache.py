@@ -1,0 +1,123 @@
+"""The iGQ query cache: previously executed queries, their answers, metadata.
+
+The iGQ index ``I`` (§4, §5 of the paper) is conceptually a cache of
+previously executed query graphs together with
+
+* the answer set the base method computed for them (``Answer(G)``),
+* the features extracted from them (re-used by both component indexes), and
+* the bookkeeping the replacement policy of §5.1 needs: the number of hits
+  ``H(g)``, the number of queries processed since insertion ``M(g)``, the
+  number of candidate-set graphs removed thanks to the entry ``R(g)``, and
+  the accumulated alleviated isomorphism-test cost ``C(g)``.
+
+:class:`QueryCache` is that store ("Igraphs" plus "Stat(iGQ Graph)" in the
+paper's Figure 6); the component indexes :class:`~repro.core.isub.SubgraphQueryIndex`
+and :class:`~repro.core.isuper.SupergraphQueryIndex` are built over it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass, field
+
+from ..features.extractor import GraphFeatures
+from ..graphs.graph import LabeledGraph
+
+__all__ = ["CacheEntry", "QueryCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached query graph with its answer set and utility metadata."""
+
+    entry_id: int
+    graph: LabeledGraph
+    features: GraphFeatures
+    answer: frozenset
+    #: value of the cache's global query counter when the entry was added
+    added_at: int
+    #: H(g): number of times this entry pruned (or answered) a new query
+    hits: int = 0
+    #: R(g): total number of candidate graphs removed thanks to this entry
+    removed: int = 0
+    #: C(g): total estimated cost of the isomorphism tests alleviated
+    alleviated_cost: float = 0.0
+    #: free-form annotations (e.g. the query's workload group)
+    tags: dict = field(default_factory=dict)
+
+    def queries_since_added(self, current_counter: int) -> int:
+        """M(g): queries processed since this entry entered the cache."""
+        return max(current_counter - self.added_at, 0)
+
+    def record_hit(self, removed: int, alleviated_cost: float) -> None:
+        """Account one hit that removed ``removed`` candidates."""
+        self.hits += 1
+        self.removed += removed
+        self.alleviated_cost += alleviated_cost
+
+
+class QueryCache:
+    """Store of cached query graphs (``Igraphs`` + metadata in the paper)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, CacheEntry] = {}
+        self._next_id = 0
+        #: total number of queries processed by the engine (drives M(g))
+        self.query_counter = 0
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        graph: LabeledGraph,
+        features: GraphFeatures,
+        answer: frozenset | set,
+        tags: dict | None = None,
+    ) -> CacheEntry:
+        """Insert a new entry and return it."""
+        entry = CacheEntry(
+            entry_id=self._next_id,
+            graph=graph,
+            features=features,
+            answer=frozenset(answer),
+            added_at=self.query_counter,
+            tags=dict(tags or {}),
+        )
+        self._entries[entry.entry_id] = entry
+        self._next_id += 1
+        return entry
+
+    def remove(self, entry_id: int) -> CacheEntry:
+        """Remove and return the entry with ``entry_id``."""
+        try:
+            return self._entries.pop(entry_id)
+        except KeyError:
+            raise KeyError(f"unknown cache entry {entry_id!r}") from None
+
+    def get(self, entry_id: int) -> CacheEntry:
+        """Return the entry with ``entry_id``."""
+        try:
+            return self._entries[entry_id]
+        except KeyError:
+            raise KeyError(f"unknown cache entry {entry_id!r}") from None
+
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[CacheEntry]:
+        """Iterate over the cached entries in insertion order."""
+        return iter(self._entries.values())
+
+    def entry_ids(self) -> list[int]:
+        """Ids of the cached entries, in insertion order."""
+        return list(self._entries)
+
+    def note_query_processed(self) -> None:
+        """Advance the global query counter (one per processed query)."""
+        self.query_counter += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry_id: Hashable) -> bool:
+        return entry_id in self._entries
+
+    def __repr__(self) -> str:
+        return f"<QueryCache entries={len(self._entries)} queries_seen={self.query_counter}>"

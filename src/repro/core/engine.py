@@ -1,0 +1,403 @@
+"""The iGQ query processing engine (Figure 6 and §4.2–4.4 of the paper).
+
+:class:`IGQ` wraps any filter-then-verify method ``M`` and adds the query
+index: for every incoming query it
+
+1. lets ``M`` filter the dataset graphs into the candidate set ``CS(g)``,
+2. consults the two iGQ components — ``Isub`` (previous queries that are
+   supergraphs of ``g``) and ``Isuper`` (previous queries that are subgraphs
+   of ``g``) — and prunes ``CS(g)`` with formulae (3) and (5),
+3. short-circuits entirely on the two optimal cases of §4.3 (exact query
+   repeat; a contained previous query with an empty answer),
+4. verifies only the surviving candidates, assembles the final answer with
+   formula (4), and
+5. updates the replacement-policy metadata and the query window (§5).
+
+The same engine processes *supergraph* queries (§4.4): the roles of the two
+components are mirrored — answers of contained previous queries are
+guaranteed answers, answers of containing previous queries bound the
+candidate set from above.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..graphs.database import GraphDatabase
+from ..graphs.graph import LabeledGraph
+from ..isomorphism.cost import isomorphism_test_cost
+from ..isomorphism.verifier import Verifier
+from ..methods.base import QueryResult, SubgraphQueryMethod
+from .cache import CacheEntry, QueryCache
+from .isub import SubgraphQueryIndex
+from .isuper import SupergraphQueryIndex
+from .maintenance import IndexMaintenance, MaintenanceReport, PendingQuery
+from .replacement import ReplacementPolicy, create_policy
+
+__all__ = ["IGQQueryResult", "IGQ"]
+
+SUBGRAPH_MODE = "subgraph"
+SUPERGRAPH_MODE = "supergraph"
+
+
+@dataclass
+class IGQQueryResult(QueryResult):
+    """Query outcome enriched with iGQ-specific accounting."""
+
+    #: dataset graphs whose verification was skipped because a cached
+    #: supergraph-of-the-query (subgraph case) / subgraph-of-the-query
+    #: (supergraph mode) already guaranteed them to be answers
+    guaranteed_answers: set = field(default_factory=set)
+    #: dataset graphs pruned from the candidate set by the restricting
+    #: component (supergraph case for subgraph queries)
+    pruned_candidates: set = field(default_factory=set)
+    #: number of cached queries found to contain the new query
+    num_sub_hits: int = 0
+    #: number of cached queries found to be contained in the new query
+    num_super_hits: int = 0
+    #: the new query was an exact repeat of a cached query (§4.3, case 1)
+    exact_hit: bool = False
+    #: verification was skipped entirely (exact repeat or provably empty)
+    verification_skipped: bool = False
+    #: a maintenance step (window flush) ran after this query
+    maintenance: MaintenanceReport | None = None
+
+
+class IGQ:
+    """iGQ framework: a base method ``M`` plus the query index ``I``.
+
+    Parameters
+    ----------
+    method:
+        Any :class:`~repro.methods.base.SubgraphQueryMethod` (the paper's
+        ``M``); its index over the dataset graphs is built by
+        :meth:`build_index`.
+    cache_size:
+        Maximum number of cached query graphs (``C``; paper default 500).
+    window_size:
+        Query-window size (``W``; paper default 100, with ``W <= C``).
+    policy:
+        Replacement policy name or instance (default: the paper's utility
+        policy).
+    mode:
+        ``"subgraph"`` (default) or ``"supergraph"`` — the query type this
+        engine instance serves (the cache stores answers of that type).
+    enable_isub / enable_isuper:
+        Switch either component off (used by the component ablation).
+    """
+
+    def __init__(
+        self,
+        method: SubgraphQueryMethod,
+        cache_size: int = 500,
+        window_size: int = 100,
+        policy: str | ReplacementPolicy = "utility",
+        mode: str = SUBGRAPH_MODE,
+        enable_isub: bool = True,
+        enable_isuper: bool = True,
+        igq_verifier: Verifier | None = None,
+    ) -> None:
+        if mode not in (SUBGRAPH_MODE, SUPERGRAPH_MODE):
+            raise ValueError(f"unknown mode {mode!r}")
+        if not enable_isub and not enable_isuper:
+            raise ValueError("at least one of Isub / Isuper must be enabled")
+        self.method = method
+        self.mode = mode
+        self.name = f"igq_{method.name}"
+        if isinstance(policy, str):
+            policy = create_policy(policy)
+        self._igq_verifier = igq_verifier if igq_verifier is not None else Verifier()
+        self.cache = QueryCache()
+        self.isub = SubgraphQueryIndex(self._igq_verifier) if enable_isub else None
+        self.isuper = SupergraphQueryIndex(self._igq_verifier) if enable_isuper else None
+        self.maintenance = IndexMaintenance(
+            cache_size=cache_size, window_size=window_size, policy=policy
+        )
+        self.database: GraphDatabase | None = None
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+    def build_index(self, database: GraphDatabase) -> None:
+        """Build the base method's dataset index; the query index starts empty."""
+        self.method.build_index(database)
+        self.database = database
+
+    def attach_prebuilt(self, database: GraphDatabase | None = None) -> None:
+        """Use a base method whose dataset index has already been built.
+
+        Saves re-indexing when the same built method instance is shared
+        between a plain run and an iGQ run (as the experiment runners do).
+        """
+        if database is None:
+            database = self.method.database
+        if database is None:
+            raise RuntimeError("the base method has no built index to attach")
+        self.database = database
+
+    # ------------------------------------------------------------------
+    # Query processing
+    # ------------------------------------------------------------------
+    def query(self, query: LabeledGraph) -> IGQQueryResult:
+        """Process one query of this engine's configured type."""
+        if self.database is None:
+            raise RuntimeError("IGQ.build_index() must be called before querying")
+        if self.mode == SUBGRAPH_MODE:
+            return self._process(query, supergraph=False)
+        return self._process(query, supergraph=True)
+
+    def subgraph_query(self, query: LabeledGraph) -> IGQQueryResult:
+        """Process ``query`` as a subgraph query (requires subgraph mode)."""
+        self._require_mode(SUBGRAPH_MODE)
+        return self._process(query, supergraph=False)
+
+    def supergraph_query(self, query: LabeledGraph) -> IGQQueryResult:
+        """Process ``query`` as a supergraph query (requires supergraph mode)."""
+        self._require_mode(SUPERGRAPH_MODE)
+        return self._process(query, supergraph=True)
+
+    def _require_mode(self, mode: str) -> None:
+        if self.mode != mode:
+            raise RuntimeError(
+                f"this IGQ instance is configured for {self.mode!r} queries; "
+                f"create a separate instance for {mode!r} queries"
+            )
+
+    # ------------------------------------------------------------------
+    def _process(self, query: LabeledGraph, supergraph: bool) -> IGQQueryResult:
+        method = self.method
+        tests_before = method.verifier.stats.tests
+
+        # Stage 1 — the base method's filtering (Figure 6, thread 1).
+        start = time.perf_counter()
+        features = method.extract_query_features(query)
+        if supergraph:
+            candidates = method.filter_supergraph_candidates(query, features=features)
+        else:
+            candidates = method.filter_candidates(query, features=features)
+        filter_seconds = time.perf_counter() - start
+
+        # Stage 2 — the two iGQ components (Figure 6, threads 2 and 3).
+        start = time.perf_counter()
+        sub_hits = (
+            self.isub.find_supergraphs(query, features) if self.isub is not None else []
+        )
+        super_hits = (
+            self.isuper.find_subgraphs(query, features) if self.isuper is not None else []
+        )
+        exact_entry = self._find_exact(query, sub_hits, super_hits)
+
+        if supergraph:
+            guaranteed, pruned, remaining, skip_all = self._combine_supergraph(
+                candidates, sub_hits, super_hits
+            )
+        else:
+            guaranteed, pruned, remaining, skip_all = self._combine_subgraph(
+                candidates, sub_hits, super_hits
+            )
+
+        if exact_entry is not None:
+            answer_from_cache = set(exact_entry.answer)
+            remaining = set()
+            skip_all = True
+        else:
+            answer_from_cache = set(guaranteed)
+
+        self._credit_hits(query, candidates, sub_hits, super_hits, supergraph)
+        igq_seconds = time.perf_counter() - start
+
+        # Stage 3 — verification of the surviving candidates.
+        start = time.perf_counter()
+        if supergraph:
+            verified = method.verify_supergraph(query, remaining, features=features)
+        else:
+            verified = method.verify(query, remaining, features=features)
+        verify_seconds = time.perf_counter() - start
+
+        answers = verified | answer_from_cache
+
+        # Stage 4 — window / metadata maintenance (§5.2).
+        report = self._record_query(query, features, answers)
+
+        return IGQQueryResult(
+            query_name=query.name,
+            answers=answers,
+            candidates=set(candidates),
+            num_isomorphism_tests=method.verifier.stats.tests - tests_before,
+            filter_seconds=filter_seconds,
+            verify_seconds=verify_seconds,
+            igq_seconds=igq_seconds,
+            guaranteed_answers=set(guaranteed),
+            pruned_candidates=set(pruned),
+            num_sub_hits=len(sub_hits),
+            num_super_hits=len(super_hits),
+            exact_hit=exact_entry is not None,
+            verification_skipped=skip_all or not remaining,
+            maintenance=report,
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate-set combination (formulae (3), (4), (5) and §4.4)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _combine_subgraph(
+        candidates: set, sub_hits: list[CacheEntry], super_hits: list[CacheEntry]
+    ) -> tuple[set, set, set, bool]:
+        """Apply the subgraph-query pruning rules.
+
+        Returns ``(guaranteed answers, pruned candidates, remaining
+        candidates, skip_all)``.
+        """
+        guaranteed: set = set()
+        for entry in sub_hits:
+            guaranteed |= entry.answer
+        remaining = set(candidates) - guaranteed
+
+        skip_all = False
+        pruned_by_super: set = set()
+        if super_hits:
+            if any(not entry.answer for entry in super_hits):
+                # §4.3 optimal case 2: a contained previous query had no
+                # answers, so nothing can contain the new query either.
+                pruned_by_super = set(remaining)
+                remaining = set()
+                skip_all = True
+            else:
+                allowed = set.intersection(*(set(entry.answer) for entry in super_hits))
+                pruned_by_super = remaining - allowed
+                remaining &= allowed
+        pruned = (set(candidates) & guaranteed) | pruned_by_super
+        return guaranteed, pruned, remaining, skip_all
+
+    @staticmethod
+    def _combine_supergraph(
+        candidates: set, sub_hits: list[CacheEntry], super_hits: list[CacheEntry]
+    ) -> tuple[set, set, set, bool]:
+        """Apply the supergraph-query pruning rules (§4.4, mirrored roles)."""
+        guaranteed: set = set()
+        for entry in super_hits:
+            guaranteed |= entry.answer
+        remaining = set(candidates) - guaranteed
+
+        skip_all = False
+        pruned_by_sub: set = set()
+        if sub_hits:
+            if any(not entry.answer for entry in sub_hits):
+                # Mirrored optimal case: a containing previous query had no
+                # answers, so the new (smaller) query cannot have any either.
+                pruned_by_sub = set(remaining)
+                remaining = set()
+                skip_all = True
+            else:
+                allowed = set.intersection(*(set(entry.answer) for entry in sub_hits))
+                pruned_by_sub = remaining - allowed
+                remaining &= allowed
+        pruned = (set(candidates) & guaranteed) | pruned_by_sub
+        return guaranteed, pruned, remaining, skip_all
+
+    @staticmethod
+    def _find_exact(
+        query: LabeledGraph, sub_hits: list[CacheEntry], super_hits: list[CacheEntry]
+    ) -> CacheEntry | None:
+        """§4.3 optimal case 1: a containment hit of identical size is the
+        same query, so its stored answer can be returned directly."""
+        for entry in list(sub_hits) + list(super_hits):
+            if entry.graph.same_size(query):
+                return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Metadata updates (§5.1)
+    # ------------------------------------------------------------------
+    def _credit_hits(
+        self,
+        query: LabeledGraph,
+        candidates: set,
+        sub_hits: list[CacheEntry],
+        super_hits: list[CacheEntry],
+        supergraph: bool,
+    ) -> None:
+        """Update H, R and C for every cache entry that was hit."""
+        num_labels = max(self.database.num_labels, 1)
+        per_graph_cost: dict = {}
+
+        def cost_of(graph_ids: set) -> float:
+            total = 0.0
+            for graph_id in graph_ids:
+                cost = per_graph_cost.get(graph_id)
+                if cost is None:
+                    target = self.database.get(graph_id)
+                    if supergraph:
+                        # For supergraph queries the test is candidate ⊆ query.
+                        cost = isomorphism_test_cost(
+                            target.num_vertices, max(query.num_vertices, 1), num_labels
+                        )
+                    else:
+                        cost = isomorphism_test_cost(
+                            query.num_vertices, target.num_vertices, num_labels
+                        )
+                    per_graph_cost[graph_id] = cost
+                total += cost
+            return total
+
+        guaranteed_hits = super_hits if supergraph else sub_hits
+        restricting_hits = sub_hits if supergraph else super_hits
+        for entry in guaranteed_hits:
+            removable = set(entry.answer) & set(candidates)
+            entry.record_hit(len(removable), cost_of(removable))
+        for entry in restricting_hits:
+            removable = set(candidates) - set(entry.answer)
+            entry.record_hit(len(removable), cost_of(removable))
+
+    def _record_query(
+        self, query: LabeledGraph, features, answers: set
+    ) -> MaintenanceReport | None:
+        """Add the processed query to the window; flush it when full."""
+        self.cache.note_query_processed()
+        window_full = self.maintenance.submit(
+            PendingQuery(
+                graph=query,
+                features=features,
+                answer=frozenset(answers),
+                tags={"mode": self.mode},
+            )
+        )
+        if not window_full:
+            return None
+        return self.maintenance.flush(self.cache, self.isub, self.isuper)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def warm_up(self, queries: list[LabeledGraph]) -> list[IGQQueryResult]:
+        """Process a warm-up batch (the first ``W`` queries of a workload).
+
+        The paper uses the first window of each workload purely to populate
+        the index; the returned results let callers discard them from the
+        measured statistics.
+        """
+        return [self.query(query) for query in queries]
+
+    def index_size_bytes(self) -> int:
+        """Estimated size of the iGQ query index (structures + cached graphs).
+
+        This is the space *overhead* iGQ adds on top of the base method's
+        dataset index (compared in Figure 18).
+        """
+        total = 0
+        if self.isub is not None:
+            total += self.isub.estimated_size_bytes()
+        if self.isuper is not None:
+            total += self.isuper.estimated_size_bytes()
+        for entry in self.cache.entries():
+            graph = entry.graph
+            total += 80 + 56 * graph.num_vertices + 48 * graph.num_edges
+            total += 40 + 8 * len(entry.answer)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<IGQ method={self.method.name!r} mode={self.mode!r} "
+            f"cached={len(self.cache)}>"
+        )

@@ -1,0 +1,109 @@
+"""The iGQ subgraph component ``Isub`` (§4.2.1 and §6.1 of the paper).
+
+``Isub`` answers the question: *which previously executed queries are
+supergraphs of the new query g?*  As §6.1 observes, this is "a microcosm of
+the original problem" — a subgraph query posed against the collection of
+cached query graphs instead of the dataset graphs — so any subgraph index
+works.  Following the paper we reuse the path-trie filtering of the base
+methods: cached query features are kept in a
+:class:`~repro.features.trie.FeatureTrie`, a new query is filtered by
+occurrence-count dominance and the surviving cached graphs are verified with
+a (cheap — query graphs are small) subgraph isomorphism test, which makes
+formula (1) hold: every reported entry is a true supergraph of ``g``.
+"""
+
+from __future__ import annotations
+
+from ..features.extractor import GraphFeatures
+from ..features.trie import FeatureTrie
+from ..graphs.graph import LabeledGraph
+from ..isomorphism.verifier import Verifier
+from .cache import CacheEntry, QueryCache
+
+__all__ = ["SubgraphQueryIndex"]
+
+
+class SubgraphQueryIndex:
+    """Index of cached queries supporting "is g a subgraph of a cached query?"."""
+
+    def __init__(self, verifier: Verifier | None = None) -> None:
+        #: verifier for the (small) query-vs-query containment tests; kept
+        #: separate from the base method's verifier so that the paper's
+        #: "number of subgraph isomorphism tests" metric (tests against
+        #: dataset graphs) is not polluted.
+        self.verifier = verifier if verifier is not None else Verifier()
+        self._trie = FeatureTrie()
+        self._entries: dict[int, CacheEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, entry: CacheEntry) -> None:
+        """Index a cached query entry."""
+        self._entries[entry.entry_id] = entry
+        for key, count in entry.features.counts.items():
+            self._trie.insert(key, entry.entry_id, count)
+
+    def remove(self, entry_id: int) -> None:
+        """Remove a cached query entry from the index."""
+        if entry_id in self._entries:
+            del self._entries[entry_id]
+            self._trie.remove_graph(entry_id)
+
+    def rebuild(self, cache: QueryCache) -> None:
+        """Rebuild from scratch over the current contents of ``cache``.
+
+        This is the "shadow index" construction of §5.2: the caller builds a
+        fresh index and swaps it in, so queries keep being served while the
+        rebuild is in progress.
+        """
+        self._trie = FeatureTrie()
+        self._entries = {}
+        for entry in cache.entries():
+            self.add(entry)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def find_supergraphs(
+        self, query: LabeledGraph, features: GraphFeatures
+    ) -> list[CacheEntry]:
+        """Return the cached entries ``G`` with ``query ⊆ G`` (``Isub(g)``).
+
+        Filtering: a cached query can only be a supergraph of ``query`` if it
+        contains every feature of ``query`` at least as often (the exact
+        dual of the dataset-side filtering).  Each surviving candidate is
+        verified with a subgraph isomorphism test, so no false positives are
+        possible (formula (1)).
+        """
+        if not self._entries:
+            return []
+        candidate_ids: set | None = None
+        for key, required in features.counts.items():
+            postings = self._trie.get(key)
+            matching = {
+                entry_id for entry_id, count in postings.items() if count >= required
+            }
+            candidate_ids = matching if candidate_ids is None else candidate_ids & matching
+            if not candidate_ids:
+                return []
+        if candidate_ids is None:
+            candidate_ids = set(self._entries)
+        results = []
+        for entry_id in sorted(candidate_ids):
+            entry = self._entries[entry_id]
+            if entry.graph.num_vertices < query.num_vertices:
+                continue
+            if entry.graph.num_edges < query.num_edges:
+                continue
+            if self.verifier.is_subgraph(query, entry.graph):
+                results.append(entry)
+        return results
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def estimated_size_bytes(self) -> int:
+        """Approximate in-memory size of the index structure (Figure 18)."""
+        return self._trie.estimated_size_bytes()

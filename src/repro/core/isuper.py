@@ -1,0 +1,118 @@
+"""The iGQ supergraph component ``Isuper`` (§4.2.2 and §6.2, Algorithms 1–2).
+
+``Isuper`` answers the question: *which previously executed queries are
+subgraphs of the new query g?*  The paper proposes a purpose-built structure
+instead of reusing a general supergraph-query method:
+
+* **Algorithm 1** — every cached query ``g_i`` is decomposed into its
+  features; each feature ``f`` is inserted into a trie together with the pair
+  ``{g_i, o}`` where ``o`` is the number of occurrences of ``f`` in ``g_i``;
+  the number of distinct features ``NF[g_i]`` is recorded.
+* **Algorithm 2** — for a new query ``g``, every feature ``f`` of ``g`` is
+  looked up; a cached query ``g_i`` is tallied once for every feature whose
+  occurrence count in ``g_i`` does not exceed the count in ``g``; cached
+  queries tallied exactly ``NF[g_i]`` times are candidate subgraphs of ``g``
+  and are verified with a subgraph isomorphism test.
+
+The candidate generation cannot miss a true subgraph (no false negatives) and
+the final verification removes all false positives, establishing formula (2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..features.extractor import GraphFeatures
+from ..features.trie import FeatureTrie
+from ..graphs.graph import LabeledGraph
+from ..isomorphism.verifier import Verifier
+from .cache import CacheEntry, QueryCache
+
+__all__ = ["SupergraphQueryIndex"]
+
+
+class SupergraphQueryIndex:
+    """Index of cached queries supporting "is a cached query a subgraph of g?"."""
+
+    def __init__(self, verifier: Verifier | None = None) -> None:
+        self.verifier = verifier if verifier is not None else Verifier()
+        self._trie = FeatureTrie()
+        self._entries: dict[int, CacheEntry] = {}
+        #: NF[g_i] — number of distinct features of each indexed query
+        self._num_features: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance (Algorithm 1)
+    # ------------------------------------------------------------------
+    def add(self, entry: CacheEntry) -> None:
+        """Index a cached query entry (one iteration of Algorithm 1's loop)."""
+        self._entries[entry.entry_id] = entry
+        self._num_features[entry.entry_id] = entry.features.num_distinct
+        for key, count in entry.features.counts.items():
+            self._trie.insert(key, entry.entry_id, count)
+
+    def remove(self, entry_id: int) -> None:
+        """Remove a cached query entry from the index."""
+        if entry_id in self._entries:
+            del self._entries[entry_id]
+            del self._num_features[entry_id]
+            self._trie.remove_graph(entry_id)
+
+    def rebuild(self, cache: QueryCache) -> None:
+        """Rebuild from scratch over the current contents of ``cache``."""
+        self._trie = FeatureTrie()
+        self._entries = {}
+        self._num_features = {}
+        for entry in cache.entries():
+            self.add(entry)
+
+    # ------------------------------------------------------------------
+    # Query (Algorithm 2)
+    # ------------------------------------------------------------------
+    def candidate_subgraphs(self, features: GraphFeatures) -> list[int]:
+        """Candidate cached-entry ids that may be subgraphs of the new query.
+
+        Pure filtering step of Algorithm 2 (no isomorphism testing), exposed
+        separately so that its no-false-negative property can be tested in
+        isolation.
+        """
+        tally: Counter = Counter()
+        for key, available in features.counts.items():
+            postings = self._trie.get(key)
+            for entry_id, occurrences in postings.items():
+                if occurrences <= available:
+                    tally[entry_id] += 1
+        return [
+            entry_id
+            for entry_id, count in tally.items()
+            if count == self._num_features[entry_id]
+        ]
+
+    def find_subgraphs(
+        self, query: LabeledGraph, features: GraphFeatures
+    ) -> list[CacheEntry]:
+        """Return the cached entries ``G`` with ``G ⊆ query`` (``Isuper(g)``)."""
+        if not self._entries:
+            return []
+        results = []
+        for entry_id in sorted(self.candidate_subgraphs(features)):
+            entry = self._entries[entry_id]
+            if entry.graph.num_vertices > query.num_vertices:
+                continue
+            if entry.graph.num_edges > query.num_edges:
+                continue
+            if self.verifier.is_subgraph(entry.graph, query):
+                results.append(entry)
+        return results
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def num_features(self, entry_id: int) -> int:
+        """``NF[g_i]`` — distinct feature count of an indexed entry."""
+        return self._num_features[entry_id]
+
+    def estimated_size_bytes(self) -> int:
+        """Approximate in-memory size of the index structure (Figure 18)."""
+        return self._trie.estimated_size_bytes() + 40 * len(self._num_features)

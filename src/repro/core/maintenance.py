@@ -1,0 +1,121 @@
+"""Windowed maintenance of the iGQ index (§5.2 of the paper).
+
+New queries are not folded into the iGQ index one by one.  They accumulate in
+a temporary store ``Itemp`` (the *query window*, of size ``W``); when the
+window fills up the maintenance step
+
+1. consults the metadata to find the lowest-utility cached graphs (only as
+   many as needed to respect the cache capacity ``C``),
+2. removes them from the graph store and inserts the windowed queries,
+3. rebuilds a *shadow* index over the new contents and swaps it in,
+
+so that query processing is never blocked by index updates.  In this
+single-process reproduction the "swap" is simply a rebuild of the two
+component indexes after the cache contents have been updated; the structure
+of the algorithm (windowing, batched eviction, full rebuild) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..features.extractor import GraphFeatures
+from ..graphs.graph import LabeledGraph
+from .cache import QueryCache
+from .isub import SubgraphQueryIndex
+from .isuper import SupergraphQueryIndex
+from .replacement import ReplacementPolicy, UtilityReplacementPolicy
+
+__all__ = ["PendingQuery", "MaintenanceReport", "IndexMaintenance"]
+
+
+@dataclass
+class PendingQuery:
+    """A processed query waiting in the window (``Itemp``)."""
+
+    graph: LabeledGraph
+    features: GraphFeatures
+    answer: frozenset
+    tags: dict = field(default_factory=dict)
+
+
+@dataclass
+class MaintenanceReport:
+    """What one maintenance (window flush) step did."""
+
+    inserted: int = 0
+    evicted: int = 0
+    evicted_entry_ids: list[int] = field(default_factory=list)
+    cache_size_after: int = 0
+
+
+class IndexMaintenance:
+    """Window buffer + batched replacement for the iGQ cache."""
+
+    def __init__(
+        self,
+        cache_size: int = 500,
+        window_size: int = 100,
+        policy: ReplacementPolicy | None = None,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be positive")
+        if window_size < 1:
+            raise ValueError("window_size must be positive")
+        if window_size > cache_size:
+            raise ValueError("window_size cannot exceed cache_size (W <= C)")
+        self.cache_size = cache_size
+        self.window_size = window_size
+        self.policy = policy if policy is not None else UtilityReplacementPolicy()
+        self._window: list[PendingQuery] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def window_fill(self) -> int:
+        """Number of queries currently waiting in the window."""
+        return len(self._window)
+
+    def submit(self, pending: PendingQuery) -> bool:
+        """Add a processed query to the window; True if the window is full."""
+        self._window.append(pending)
+        return len(self._window) >= self.window_size
+
+    def flush(
+        self,
+        cache: QueryCache,
+        isub: SubgraphQueryIndex | None,
+        isuper: SupergraphQueryIndex | None,
+    ) -> MaintenanceReport:
+        """Apply the windowed queries to the cache and rebuild the indexes.
+
+        Evicts exactly as many lowest-utility entries as needed to keep the
+        cache within its capacity after the insertions (during warm-up, when
+        the cache is not yet full, nothing is evicted).
+        """
+        report = MaintenanceReport()
+        if not self._window:
+            report.cache_size_after = len(cache)
+            return report
+        overflow = len(cache) + len(self._window) - self.cache_size
+        if overflow > 0:
+            victims = self.policy.select_victims(cache, overflow)
+            for entry_id in victims:
+                cache.remove(entry_id)
+            report.evicted = len(victims)
+            report.evicted_entry_ids = victims
+        for pending in self._window:
+            cache.add(
+                pending.graph,
+                pending.features,
+                pending.answer,
+                tags=pending.tags,
+            )
+            report.inserted += 1
+        self._window = []
+        # Shadow-index rebuild over the updated graph store, then swap.
+        if isub is not None:
+            isub.rebuild(cache)
+        if isuper is not None:
+            isuper.rebuild(cache)
+        report.cache_size_after = len(cache)
+        return report

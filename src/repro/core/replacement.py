@@ -1,0 +1,108 @@
+"""Graph replacement policies for the iGQ cache (§5.1 of the paper).
+
+The paper's utility of a cached query graph ``g`` is
+
+    U(g) = H(g)/M(g) × R(g)/H(g) × C(g)/R(g) = C(g)/M(g)
+
+i.e. the probability of the entry being useful for an incoming query, times
+the average number of isomorphism tests it saves per hit, times the average
+cost of one saved test — which telescopes to the alleviated cost per query
+processed since the entry was cached.  The entry with the smallest utility is
+evicted first.
+
+Two simpler policies are provided for the ablation benchmark
+(``bench_ablation_replacement``): least-recently-hit (an LRU stand-in for
+"popularity only, no cost model") and hit-rate-only (``H/M``), which is the
+paper's first principle without the cost-aware refinement.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .cache import CacheEntry, QueryCache
+
+__all__ = [
+    "ReplacementPolicy",
+    "UtilityReplacementPolicy",
+    "HitRateReplacementPolicy",
+    "LeastRecentlyAddedPolicy",
+    "create_policy",
+]
+
+
+class ReplacementPolicy(ABC):
+    """Strategy deciding which cache entries to evict."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def score(self, entry: CacheEntry, cache: QueryCache) -> float:
+        """Score an entry; *lower* scores are evicted first."""
+
+    def select_victims(self, cache: QueryCache, count: int) -> list[int]:
+        """Return the ids of the ``count`` entries to evict (lowest scores).
+
+        Ties are broken by insertion order (older entries evicted first) so
+        the policy is fully deterministic.
+        """
+        if count <= 0:
+            return []
+        ranked = sorted(
+            cache.entries(),
+            key=lambda entry: (self.score(entry, cache), entry.added_at, entry.entry_id),
+        )
+        return [entry.entry_id for entry in ranked[:count]]
+
+
+class UtilityReplacementPolicy(ReplacementPolicy):
+    """The paper's utility ``U(g) = C(g) / M(g)`` (cost alleviated per query)."""
+
+    name = "utility"
+
+    def score(self, entry: CacheEntry, cache: QueryCache) -> float:
+        queries = entry.queries_since_added(cache.query_counter)
+        if queries == 0:
+            # Entries from the current window have not had a chance to be
+            # useful yet; treat them as maximally valuable so they are not
+            # evicted the moment they are cached.
+            return float("inf")
+        return entry.alleviated_cost / queries
+
+
+class HitRateReplacementPolicy(ReplacementPolicy):
+    """Popularity-only policy: ``P(g) = H(g) / M(g)`` (no cost model)."""
+
+    name = "hit_rate"
+
+    def score(self, entry: CacheEntry, cache: QueryCache) -> float:
+        queries = entry.queries_since_added(cache.query_counter)
+        if queries == 0:
+            return float("inf")
+        return entry.hits / queries
+
+
+class LeastRecentlyAddedPolicy(ReplacementPolicy):
+    """FIFO-style baseline: evict the oldest entries regardless of benefit."""
+
+    name = "fifo"
+
+    def score(self, entry: CacheEntry, cache: QueryCache) -> float:
+        return float(entry.added_at)
+
+
+_POLICIES = {
+    UtilityReplacementPolicy.name: UtilityReplacementPolicy,
+    HitRateReplacementPolicy.name: HitRateReplacementPolicy,
+    LeastRecentlyAddedPolicy.name: LeastRecentlyAddedPolicy,
+}
+
+
+def create_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``utility``, ``hit_rate``, ``fifo``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of {sorted(_POLICIES)}"
+        ) from None

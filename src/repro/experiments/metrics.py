@@ -1,0 +1,176 @@
+"""Metric collection for query-stream experiments.
+
+The paper's evaluation reports, per dataset / method / workload:
+
+* the *number of subgraph isomorphism tests* performed (Figures 7–11),
+* the *query processing time* (Figures 12–17),
+* the split of that time between filtering and verification (Figure 1),
+* the candidate-set size, answer-set size and false positives (Figures 2–3),
+* and the *speedup*, defined as the ratio of the average value of a metric
+  for the base method over its average value when iGQ is added (§7.1).
+
+:class:`StreamMetrics` accumulates those quantities over a query stream;
+:func:`speedup` produces the ratios.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..graphs.graph import LabeledGraph
+from ..methods.base import QueryResult
+
+__all__ = ["StreamMetrics", "SpeedupReport", "speedup"]
+
+
+@dataclass
+class StreamMetrics:
+    """Aggregated statistics over a stream of executed queries."""
+
+    label: str = ""
+    num_queries: int = 0
+    total_isomorphism_tests: int = 0
+    total_candidates: int = 0
+    total_answers: int = 0
+    total_false_positives: int = 0
+    total_filter_seconds: float = 0.0
+    total_verify_seconds: float = 0.0
+    total_igq_seconds: float = 0.0
+    total_seconds: float = 0.0
+    #: per query-size-group totals: group -> [queries, iso tests, seconds]
+    per_group: dict[int, list] = field(default_factory=lambda: defaultdict(lambda: [0, 0, 0.0]))
+
+    # ------------------------------------------------------------------
+    def add(self, result: QueryResult, query: LabeledGraph | None = None) -> None:
+        """Record the outcome of one query."""
+        self.num_queries += 1
+        self.total_isomorphism_tests += result.num_isomorphism_tests
+        self.total_candidates += result.num_candidates
+        self.total_answers += result.num_answers
+        self.total_false_positives += result.num_false_positives
+        self.total_filter_seconds += result.filter_seconds
+        self.total_verify_seconds += result.verify_seconds
+        self.total_igq_seconds += result.igq_seconds
+        self.total_seconds += result.total_seconds
+        if query is not None:
+            group = self.per_group[query.num_edges]
+            group[0] += 1
+            group[1] += result.num_isomorphism_tests
+            group[2] += result.total_seconds
+
+    # ------------------------------------------------------------------
+    # Averages (the paper reports per-query averages)
+    # ------------------------------------------------------------------
+    def _avg(self, total: float) -> float:
+        return total / self.num_queries if self.num_queries else 0.0
+
+    @property
+    def avg_isomorphism_tests(self) -> float:
+        """Average number of subgraph isomorphism tests per query."""
+        return self._avg(self.total_isomorphism_tests)
+
+    @property
+    def avg_candidates(self) -> float:
+        """Average candidate-set size per query (Figures 2–3)."""
+        return self._avg(self.total_candidates)
+
+    @property
+    def avg_answers(self) -> float:
+        """Average answer-set size per query (Figures 2–3)."""
+        return self._avg(self.total_answers)
+
+    @property
+    def avg_false_positives(self) -> float:
+        """Average number of false positives per query (Figures 2–3)."""
+        return self._avg(self.total_false_positives)
+
+    @property
+    def avg_seconds(self) -> float:
+        """Average total query processing time per query."""
+        return self._avg(self.total_seconds)
+
+    @property
+    def filter_time_fraction(self) -> float:
+        """Fraction of the total time spent in filtering (Figure 1)."""
+        if self.total_seconds == 0:
+            return 0.0
+        return (self.total_filter_seconds + self.total_igq_seconds) / self.total_seconds
+
+    @property
+    def verify_time_fraction(self) -> float:
+        """Fraction of the total time spent in verification (Figure 1)."""
+        if self.total_seconds == 0:
+            return 0.0
+        return self.total_verify_seconds / self.total_seconds
+
+    # ------------------------------------------------------------------
+    def group_avg_tests(self) -> dict[int, float]:
+        """Average iso tests per query, per query-size group (Figures 10–11)."""
+        return {
+            size: counts[1] / counts[0]
+            for size, counts in sorted(self.per_group.items())
+            if counts[0]
+        }
+
+    def group_avg_seconds(self) -> dict[int, float]:
+        """Average query time per query-size group (Figures 16–17)."""
+        return {
+            size: counts[2] / counts[0]
+            for size, counts in sorted(self.per_group.items())
+            if counts[0]
+        }
+
+    def as_dict(self) -> dict:
+        """Flat dictionary of the headline averages (for reports)."""
+        return {
+            "label": self.label,
+            "num_queries": self.num_queries,
+            "avg_iso_tests": round(self.avg_isomorphism_tests, 3),
+            "avg_candidates": round(self.avg_candidates, 3),
+            "avg_answers": round(self.avg_answers, 3),
+            "avg_false_positives": round(self.avg_false_positives, 3),
+            "avg_seconds": round(self.avg_seconds, 6),
+            "filter_time_fraction": round(self.filter_time_fraction, 4),
+            "verify_time_fraction": round(self.verify_time_fraction, 4),
+        }
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Speedups of iGQ+M over plain M (the paper's headline metric)."""
+
+    isomorphism_test_speedup: float
+    time_speedup: float
+    base_avg_tests: float
+    igq_avg_tests: float
+    base_avg_seconds: float
+    igq_avg_seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "iso_test_speedup": round(self.isomorphism_test_speedup, 3),
+            "time_speedup": round(self.time_speedup, 3),
+            "base_avg_tests": round(self.base_avg_tests, 3),
+            "igq_avg_tests": round(self.igq_avg_tests, 3),
+            "base_avg_seconds": round(self.base_avg_seconds, 6),
+            "igq_avg_seconds": round(self.igq_avg_seconds, 6),
+        }
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    if denominator <= 0:
+        return float("inf") if numerator > 0 else 1.0
+    return numerator / denominator
+
+
+def speedup(base: StreamMetrics, igq: StreamMetrics) -> SpeedupReport:
+    """Speedup of ``igq`` over ``base`` (ratio of base over iGQ averages)."""
+    return SpeedupReport(
+        isomorphism_test_speedup=_ratio(base.avg_isomorphism_tests, igq.avg_isomorphism_tests),
+        time_speedup=_ratio(base.avg_seconds, igq.avg_seconds),
+        base_avg_tests=base.avg_isomorphism_tests,
+        igq_avg_tests=igq.avg_isomorphism_tests,
+        base_avg_seconds=base.avg_seconds,
+        igq_avg_seconds=igq.avg_seconds,
+    )

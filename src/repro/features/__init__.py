@@ -1,0 +1,42 @@
+"""Feature extraction: paths, trees, cycles, canonical codes and the trie."""
+
+from .canonical import (
+    canonical_cycle_code,
+    canonical_path_code,
+    canonical_tree_code,
+    tree_code_of_subtree,
+)
+from .cycles import cycle_feature_codes, cycle_feature_counts, enumerate_simple_cycles
+from .extractor import FeatureExtractor, FeatureKey, GraphFeatures
+from .paths import PathOccurrences, enumerate_simple_paths, path_features
+from .trees import (
+    enumerate_connected_subsets,
+    enumerate_spanning_trees,
+    enumerate_tree_subgraphs,
+    tree_feature_codes,
+    tree_feature_counts,
+)
+from .trie import FeatureTrie, TrieNode
+
+__all__ = [
+    "FeatureExtractor",
+    "FeatureKey",
+    "GraphFeatures",
+    "FeatureTrie",
+    "TrieNode",
+    "PathOccurrences",
+    "canonical_cycle_code",
+    "canonical_path_code",
+    "canonical_tree_code",
+    "tree_code_of_subtree",
+    "cycle_feature_codes",
+    "cycle_feature_counts",
+    "enumerate_simple_cycles",
+    "enumerate_simple_paths",
+    "enumerate_connected_subsets",
+    "enumerate_spanning_trees",
+    "enumerate_tree_subgraphs",
+    "path_features",
+    "tree_feature_codes",
+    "tree_feature_counts",
+]

@@ -1,0 +1,76 @@
+"""Bounded simple-cycle enumeration (the cycle half of CT-Index's features).
+
+CT-Index complements its tree features with the simple cycles of each graph
+up to a maximum length (8 in the paper's default configuration).  Like paths
+and trees, cycles are non-induced subgraphs, so ``q ⊆ G`` implies that every
+cycle feature of ``q`` is also a cycle feature of ``G`` — which is what makes
+them safe filtering features.
+
+The enumeration uses the classic "rooted at the smallest vertex" scheme: a
+cycle is discovered exactly once, as a path that starts at its smallest
+vertex (in a fixed deterministic order), only visits larger vertices, and
+whose second vertex is smaller than its last vertex (this kills the mirrored
+traversal of the same cycle).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterator
+
+from ..graphs.graph import LabeledGraph
+from .canonical import canonical_cycle_code
+
+__all__ = ["enumerate_simple_cycles", "cycle_feature_codes", "cycle_feature_counts"]
+
+
+def enumerate_simple_cycles(
+    graph: LabeledGraph, max_length: int, min_length: int = 3
+) -> Iterator[tuple[Hashable, ...]]:
+    """Yield every simple cycle with ``min_length..max_length`` vertices.
+
+    Cycles are yielded as vertex tuples (without repeating the first vertex
+    at the end); each cycle is yielded exactly once.
+    """
+    if min_length < 3:
+        raise ValueError("a simple cycle has at least 3 vertices")
+    if max_length < min_length:
+        return
+
+    order = {vertex: index for index, vertex in enumerate(sorted(graph.vertices(), key=repr))}
+
+    def search(root: Hashable, path: list[Hashable], on_path: set) -> Iterator[tuple[Hashable, ...]]:
+        current = path[-1]
+        for neighbor in graph.neighbors(current):
+            if neighbor == root:
+                if len(path) >= min_length and order[path[1]] < order[path[-1]]:
+                    yield tuple(path)
+                continue
+            if neighbor in on_path or order[neighbor] <= order[root]:
+                continue
+            if len(path) == max_length:
+                continue
+            path.append(neighbor)
+            on_path.add(neighbor)
+            yield from search(root, path, on_path)
+            on_path.discard(neighbor)
+            path.pop()
+
+    for root in sorted(graph.vertices(), key=lambda v: order[v]):
+        yield from search(root, [root], {root})
+
+
+def cycle_feature_codes(graph: LabeledGraph, max_length: int, min_length: int = 3) -> set[str]:
+    """Set of canonical codes of the simple cycles of ``graph``."""
+    return {
+        canonical_cycle_code([graph.label(vertex) for vertex in cycle])
+        for cycle in enumerate_simple_cycles(graph, max_length, min_length=min_length)
+    }
+
+
+def cycle_feature_counts(graph: LabeledGraph, max_length: int, min_length: int = 3) -> Counter:
+    """Multiset (code -> occurrence count) of the simple cycles of ``graph``."""
+    counts: Counter = Counter()
+    for cycle in enumerate_simple_cycles(graph, max_length, min_length=min_length):
+        counts[canonical_cycle_code([graph.label(vertex) for vertex in cycle])] += 1
+    return counts

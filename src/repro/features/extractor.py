@@ -1,0 +1,144 @@
+"""Feature-extraction facade shared by the indexing methods and by iGQ.
+
+A :class:`FeatureExtractor` turns a graph into a :class:`GraphFeatures`
+record: a multiset of feature keys plus (for path features) the location
+information Grapes stores.  The same extractor object must be used for the
+dataset graphs and for the queries of a given index, which is why the
+methods expose their extractor and iGQ simply reuses it (the framework of
+§4.2 obtains "the features of the query graph" from the base method).
+
+Two feature families are provided, matching the reproduced methods:
+
+``paths``
+    Every simple path up to ``max_path_length`` edges (GGSX, Grapes, and the
+    default for the iGQ ``Isuper`` trie).
+
+``trees_cycles``
+    Every tree subgraph up to ``tree_max_size`` vertices and every simple
+    cycle up to ``cycle_max_length`` vertices (CT-Index).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from ..graphs.graph import LabeledGraph
+from .canonical import canonical_cycle_code, canonical_tree_code
+from .cycles import enumerate_simple_cycles
+from .paths import path_features
+from .trees import enumerate_tree_subgraphs
+
+__all__ = ["FeatureKey", "GraphFeatures", "FeatureExtractor"]
+
+#: A feature key is a tuple of hashable elements: the label sequence of a
+#: path, or a single-element tuple wrapping a canonical tree / cycle code.
+FeatureKey = tuple
+
+
+@dataclass
+class GraphFeatures:
+    """Features of one graph: occurrence counts and (optional) locations."""
+
+    counts: dict[FeatureKey, int] = field(default_factory=dict)
+    locations: dict[FeatureKey, frozenset] = field(default_factory=dict)
+
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct feature keys."""
+        return len(self.counts)
+
+    def keys(self) -> set[FeatureKey]:
+        """The set of distinct feature keys."""
+        return set(self.counts)
+
+    def contains_all_of(self, other: "GraphFeatures") -> bool:
+        """True if every feature of ``other`` also appears here (set-wise)."""
+        return all(key in self.counts for key in other.counts)
+
+    def covers_counts_of(self, other: "GraphFeatures") -> bool:
+        """True if every feature of ``other`` appears here at least as often."""
+        return all(
+            self.counts.get(key, 0) >= count for key, count in other.counts.items()
+        )
+
+
+class FeatureExtractor:
+    """Extract filtering features from labeled graphs.
+
+    Parameters
+    ----------
+    kind:
+        ``"paths"`` or ``"trees_cycles"``.
+    max_path_length:
+        Maximum number of edges of enumerated paths (``paths`` kind).
+    tree_max_size:
+        Maximum number of vertices of enumerated tree subgraphs
+        (``trees_cycles`` kind).
+    cycle_max_length:
+        Maximum number of vertices of enumerated simple cycles
+        (``trees_cycles`` kind).
+    """
+
+    PATHS = "paths"
+    TREES_CYCLES = "trees_cycles"
+
+    def __init__(
+        self,
+        kind: str = PATHS,
+        max_path_length: int = 4,
+        tree_max_size: int = 4,
+        cycle_max_length: int = 6,
+    ) -> None:
+        if kind not in (self.PATHS, self.TREES_CYCLES):
+            raise ValueError(f"unknown feature kind {kind!r}")
+        if max_path_length < 1:
+            raise ValueError("max_path_length must be at least 1")
+        if tree_max_size < 1:
+            raise ValueError("tree_max_size must be at least 1")
+        if cycle_max_length < 3:
+            raise ValueError("cycle_max_length must be at least 3")
+        self.kind = kind
+        self.max_path_length = max_path_length
+        self.tree_max_size = tree_max_size
+        self.cycle_max_length = cycle_max_length
+
+    # ------------------------------------------------------------------
+    def extract(self, graph: LabeledGraph) -> GraphFeatures:
+        """Return the features of ``graph`` under this extractor's config."""
+        if self.kind == self.PATHS:
+            return self._extract_paths(graph)
+        return self._extract_trees_cycles(graph)
+
+    def describe(self) -> dict[str, Hashable]:
+        """A JSON-friendly description of the configuration."""
+        if self.kind == self.PATHS:
+            return {"kind": self.kind, "max_path_length": self.max_path_length}
+        return {
+            "kind": self.kind,
+            "tree_max_size": self.tree_max_size,
+            "cycle_max_length": self.cycle_max_length,
+        }
+
+    # ------------------------------------------------------------------
+    def _extract_paths(self, graph: LabeledGraph) -> GraphFeatures:
+        features = GraphFeatures()
+        for code, info in path_features(graph, self.max_path_length).items():
+            key = tuple(code.split("\x1f"))
+            features.counts[key] = info.count
+            features.locations[key] = frozenset(info.vertices)
+        return features
+
+    def _extract_trees_cycles(self, graph: LabeledGraph) -> GraphFeatures:
+        features = GraphFeatures()
+        for tree in enumerate_tree_subgraphs(graph, self.tree_max_size):
+            key = (canonical_tree_code(tree),)
+            features.counts[key] = features.counts.get(key, 0) + 1
+            existing = features.locations.get(key, frozenset())
+            features.locations[key] = existing | frozenset(tree.vertices())
+        for cycle in enumerate_simple_cycles(graph, self.cycle_max_length):
+            key = (canonical_cycle_code([graph.label(vertex) for vertex in cycle]),)
+            features.counts[key] = features.counts.get(key, 0) + 1
+            existing = features.locations.get(key, frozenset())
+            features.locations[key] = existing | frozenset(cycle)
+        return features

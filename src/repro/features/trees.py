@@ -1,0 +1,172 @@
+"""Tree-feature enumeration (the tree half of CT-Index's feature set).
+
+CT-Index describes every graph by the canonical codes of its *tree subgraphs*
+up to a maximum number of vertices (6 in the paper's default configuration)
+plus its simple cycles (see :mod:`repro.features.cycles`).  For the filtering
+stage to be sound the features must be **non-induced** subgraphs: whenever
+``q ⊆ G`` every tree subgraph of ``q`` maps to a tree subgraph of ``G``, so
+containment of the feature sets is a necessary condition.
+
+Enumeration strategy (duplicate free):
+
+1. enumerate every connected vertex subset of size ``1..max_size`` exactly
+   once (the ESU / Wernicke scheme: start from each vertex, only extend with
+   neighbours that come later in a fixed vertex order or are adjacent to the
+   growing set but "new"),
+2. for each subset, enumerate the spanning trees of the induced subgraph —
+   each tree subgraph has a unique vertex set, of which it is a spanning
+   tree, so the combination enumerates every tree subgraph exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable, Iterator
+from itertools import combinations
+
+from ..graphs.graph import LabeledGraph
+from .canonical import canonical_tree_code
+
+__all__ = [
+    "enumerate_connected_subsets",
+    "enumerate_spanning_trees",
+    "enumerate_tree_subgraphs",
+    "tree_feature_codes",
+    "tree_feature_counts",
+]
+
+
+def enumerate_connected_subsets(
+    graph: LabeledGraph, max_size: int, min_size: int = 1
+) -> Iterator[frozenset]:
+    """Yield every connected vertex subset with ``min_size..max_size`` vertices.
+
+    Each subset is yielded exactly once.  The enumeration is the standard
+    ESU scheme: subsets are rooted at their smallest vertex (in a fixed
+    deterministic order) and may only be extended with vertices that come
+    after the root in that order.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be at least 1")
+    if min_size < 1:
+        raise ValueError("min_size must be at least 1")
+
+    order = {vertex: index for index, vertex in enumerate(sorted(graph.vertices(), key=repr))}
+
+    def exclusive_neighbors(vertex: Hashable, subset: set) -> Iterator[Hashable]:
+        """Neighbours of ``vertex`` that are new to the subset and not already
+        adjacent to it (the ESU 'exclusive neighbourhood')."""
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in subset:
+                continue
+            if any(graph.has_edge(neighbor, member) for member in subset):
+                continue
+            yield neighbor
+
+    def extend(
+        subset: set, extension: set, root_rank: int
+    ) -> Iterator[frozenset]:
+        if len(subset) >= min_size:
+            yield frozenset(subset)
+        if len(subset) == max_size:
+            return
+        candidates = sorted(extension, key=lambda v: order[v])
+        for position, vertex in enumerate(candidates):
+            new_extension = set(candidates[position + 1 :])
+            new_extension.update(
+                neighbor
+                for neighbor in exclusive_neighbors(vertex, subset)
+                if order[neighbor] > root_rank
+            )
+            subset.add(vertex)
+            yield from extend(subset, new_extension, root_rank)
+            subset.discard(vertex)
+
+    for root in sorted(graph.vertices(), key=lambda v: order[v]):
+        root_rank = order[root]
+        extension = {
+            neighbor for neighbor in graph.neighbors(root) if order[neighbor] > root_rank
+        }
+        yield from extend({root}, extension, root_rank)
+
+
+def enumerate_spanning_trees(
+    graph: LabeledGraph, vertices: frozenset
+) -> Iterator[tuple[tuple[Hashable, Hashable], ...]]:
+    """Yield every spanning tree of the subgraph induced by ``vertices``.
+
+    Each spanning tree is a tuple of edges.  Intended for the tiny vertex
+    sets produced by :func:`enumerate_connected_subsets` (at most a handful
+    of vertices), where brute-force edge-subset selection is perfectly fine.
+    """
+    vertex_list = sorted(vertices, key=repr)
+    size = len(vertex_list)
+    if size == 1:
+        yield ()
+        return
+    induced_edges = [
+        (u, v)
+        for index, u in enumerate(vertex_list)
+        for v in vertex_list[index + 1 :]
+        if graph.has_edge(u, v)
+    ]
+    needed = size - 1
+    if len(induced_edges) < needed:
+        return
+    for edge_subset in combinations(induced_edges, needed):
+        if _is_spanning_tree(vertex_list, edge_subset):
+            yield edge_subset
+
+
+def _is_spanning_tree(vertices: list, edges: tuple) -> bool:
+    """True if ``edges`` form a spanning tree over ``vertices`` (union-find)."""
+    parent = {vertex: vertex for vertex in vertices}
+
+    def find(vertex):
+        while parent[vertex] != vertex:
+            parent[vertex] = parent[parent[vertex]]
+            vertex = parent[vertex]
+        return vertex
+
+    merged = 0
+    for u, v in edges:
+        root_u, root_v = find(u), find(v)
+        if root_u == root_v:
+            return False
+        parent[root_u] = root_v
+        merged += 1
+    return merged == len(vertices) - 1
+
+
+def enumerate_tree_subgraphs(
+    graph: LabeledGraph, max_size: int, min_size: int = 1
+) -> Iterator[LabeledGraph]:
+    """Yield every tree subgraph with ``min_size..max_size`` vertices.
+
+    Each tree subgraph (a connected, acyclic, non-induced subgraph) is
+    yielded exactly once, materialised as a small :class:`LabeledGraph`.
+    """
+    for subset in enumerate_connected_subsets(graph, max_size, min_size=min_size):
+        for tree_edges in enumerate_spanning_trees(graph, subset):
+            tree = LabeledGraph()
+            for vertex in subset:
+                tree.add_vertex(vertex, graph.label(vertex))
+            for u, v in tree_edges:
+                tree.add_edge(u, v)
+            yield tree
+
+
+def tree_feature_codes(graph: LabeledGraph, max_size: int, min_size: int = 1) -> set[str]:
+    """Set of canonical codes of the tree subgraphs of ``graph``."""
+    return {
+        canonical_tree_code(tree)
+        for tree in enumerate_tree_subgraphs(graph, max_size, min_size=min_size)
+    }
+
+
+def tree_feature_counts(graph: LabeledGraph, max_size: int, min_size: int = 1) -> Counter:
+    """Multiset (code -> occurrence count) of the tree subgraphs of ``graph``."""
+    counts: Counter = Counter()
+    for tree in enumerate_tree_subgraphs(graph, max_size, min_size=min_size):
+        counts[canonical_tree_code(tree)] += 1
+    return counts

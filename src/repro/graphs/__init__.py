@@ -1,0 +1,51 @@
+"""Graph substrate: labeled graphs, traversal, statistics and I/O."""
+
+from .database import GraphDatabase
+from .graph import GraphError, LabeledGraph
+from .io import (
+    graph_from_dict,
+    graph_to_dict,
+    graphs_from_gfu,
+    graphs_to_gfu,
+    read_gfu,
+    read_jsonl,
+    write_gfu,
+    write_jsonl,
+)
+from .statistics import DatasetStatistics, summarize_dataset
+from .traversal import (
+    bfs_distances,
+    bfs_edges,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    is_connected,
+    largest_connected_component,
+    shortest_path_length,
+    vertices_within_distance,
+)
+
+__all__ = [
+    "GraphDatabase",
+    "GraphError",
+    "LabeledGraph",
+    "DatasetStatistics",
+    "summarize_dataset",
+    "bfs_distances",
+    "bfs_edges",
+    "bfs_order",
+    "connected_components",
+    "dfs_order",
+    "is_connected",
+    "largest_connected_component",
+    "shortest_path_length",
+    "vertices_within_distance",
+    "graph_from_dict",
+    "graph_to_dict",
+    "graphs_from_gfu",
+    "graphs_to_gfu",
+    "read_gfu",
+    "read_jsonl",
+    "write_gfu",
+    "write_jsonl",
+]

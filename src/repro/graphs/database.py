@@ -1,0 +1,89 @@
+"""A small in-memory graph database: the dataset ``D = {G_1, ..., G_n}``.
+
+The subgraph/supergraph querying problems of Definitions 3 and 4 are posed
+against a *collection* of graphs.  :class:`GraphDatabase` is that collection:
+it assigns stable ids, provides lookups, and knows the size of the label
+universe (the ``L`` of the cost model in §5.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from .graph import GraphError, LabeledGraph
+
+__all__ = ["GraphDatabase"]
+
+
+class GraphDatabase:
+    """An ordered, id-addressable collection of dataset graphs."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name
+        self._graphs: dict[Hashable, LabeledGraph] = {}
+        self._labels: set = set()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graphs(
+        cls, graphs: Iterable[LabeledGraph], name: str | None = None
+    ) -> "GraphDatabase":
+        """Build a database from an iterable of graphs.
+
+        Graphs named ``"<name>"`` keep their name as id; unnamed graphs get a
+        positional ``"g<i>"`` id.
+        """
+        database = cls(name=name)
+        for index, graph in enumerate(graphs):
+            graph_id = graph.name if graph.name is not None else f"g{index}"
+            database.add(graph_id, graph)
+        return database
+
+    def add(self, graph_id: Hashable, graph: LabeledGraph) -> None:
+        """Add ``graph`` under ``graph_id`` (ids must be unique)."""
+        if graph_id in self._graphs:
+            raise GraphError(f"duplicate graph id {graph_id!r}")
+        self._graphs[graph_id] = graph
+        self._labels.update(graph.labels())
+
+    # ------------------------------------------------------------------
+    def get(self, graph_id: Hashable) -> LabeledGraph:
+        """Return the graph stored under ``graph_id``."""
+        try:
+            return self._graphs[graph_id]
+        except KeyError:
+            raise GraphError(f"unknown graph id {graph_id!r}") from None
+
+    def ids(self) -> list[Hashable]:
+        """All graph ids, in insertion order."""
+        return list(self._graphs)
+
+    def items(self) -> Iterator[tuple[Hashable, LabeledGraph]]:
+        """Iterate over ``(graph_id, graph)`` pairs in insertion order."""
+        return iter(self._graphs.items())
+
+    def graphs(self) -> Iterator[LabeledGraph]:
+        """Iterate over the stored graphs in insertion order."""
+        return iter(self._graphs.values())
+
+    @property
+    def num_labels(self) -> int:
+        """Size of the vertex-label universe across all stored graphs."""
+        return len(self._labels)
+
+    def labels(self) -> set:
+        """The vertex-label universe."""
+        return set(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __contains__(self, graph_id: Hashable) -> bool:
+        return graph_id in self._graphs
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._graphs)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"<GraphDatabase{label} graphs={len(self._graphs)} labels={self.num_labels}>"

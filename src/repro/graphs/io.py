@@ -1,0 +1,153 @@
+"""Serialization of labeled graphs and graph collections.
+
+Two formats are supported:
+
+``GFU`` (text)
+    The simple multi-graph text format used by the GGSX / Grapes project
+    distributions (one ``#name`` header, vertex count, one label per line,
+    edge count, one ``u v`` pair per line).  This is the interchange format
+    of the original paper's artefacts, so dataset files written by this
+    module can be consumed by the reference C++ tools and vice versa.
+
+``JSONL``
+    One JSON object per line with explicit vertex ids and optional edge
+    labels; loss-less for graphs with non-contiguous ids.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from .graph import GraphError, LabeledGraph
+
+__all__ = [
+    "graphs_to_gfu",
+    "graphs_from_gfu",
+    "write_gfu",
+    "read_gfu",
+    "graph_to_dict",
+    "graph_from_dict",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+
+# ----------------------------------------------------------------------
+# GFU text format
+# ----------------------------------------------------------------------
+def graphs_to_gfu(graphs: Iterable[LabeledGraph]) -> str:
+    """Serialise ``graphs`` to a GFU-format string.
+
+    Vertices are renumbered to ``0..n-1`` in iteration order; the caller is
+    expected to use :meth:`LabeledGraph.relabeled` beforehand if a specific
+    numbering must be preserved.
+    """
+    chunks: list[str] = []
+    for index, graph in enumerate(graphs):
+        name = graph.name or f"g{index}"
+        mapping = {vertex: position for position, vertex in enumerate(graph.vertices())}
+        lines = [f"#{name}", str(graph.num_vertices)]
+        lines.extend(str(graph.label(vertex)) for vertex in graph.vertices())
+        lines.append(str(graph.num_edges))
+        lines.extend(f"{mapping[u]} {mapping[v]}" for u, v in graph.edges())
+        chunks.append("\n".join(lines))
+    return "\n".join(chunks) + ("\n" if chunks else "")
+
+
+def graphs_from_gfu(text: str) -> list[LabeledGraph]:
+    """Parse a GFU-format string into a list of graphs."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    graphs: list[LabeledGraph] = []
+    position = 0
+    while position < len(lines):
+        header = lines[position]
+        if not header.startswith("#"):
+            raise GraphError(f"expected '#<name>' header, got {header!r}")
+        name = header[1:].strip() or None
+        position += 1
+        try:
+            num_vertices = int(lines[position])
+        except (IndexError, ValueError) as exc:
+            raise GraphError(f"invalid vertex count for graph {name!r}") from exc
+        position += 1
+        graph = LabeledGraph(name=name)
+        for vertex in range(num_vertices):
+            try:
+                graph.add_vertex(vertex, lines[position])
+            except IndexError as exc:
+                raise GraphError(f"truncated vertex labels in graph {name!r}") from exc
+            position += 1
+        try:
+            num_edges = int(lines[position])
+        except (IndexError, ValueError) as exc:
+            raise GraphError(f"invalid edge count for graph {name!r}") from exc
+        position += 1
+        for _ in range(num_edges):
+            try:
+                u_text, v_text = lines[position].split()
+            except (IndexError, ValueError) as exc:
+                raise GraphError(f"invalid edge line in graph {name!r}") from exc
+            graph.add_edge(int(u_text), int(v_text))
+            position += 1
+        graphs.append(graph)
+    return graphs
+
+
+def write_gfu(graphs: Iterable[LabeledGraph], path: str | Path) -> None:
+    """Write ``graphs`` to ``path`` in GFU format."""
+    Path(path).write_text(graphs_to_gfu(graphs), encoding="utf-8")
+
+
+def read_gfu(path: str | Path) -> list[LabeledGraph]:
+    """Read a GFU file into a list of graphs."""
+    return graphs_from_gfu(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# JSONL format
+# ----------------------------------------------------------------------
+def graph_to_dict(graph: LabeledGraph) -> dict:
+    """Return a JSON-serialisable dictionary describing ``graph``."""
+    return {
+        "name": graph.name,
+        "vertices": [[vertex, graph.label(vertex)] for vertex in graph.vertices()],
+        "edges": [[u, v, graph.edge_label(u, v)] for u, v in graph.edges()],
+    }
+
+
+def graph_from_dict(payload: dict) -> LabeledGraph:
+    """Rebuild a graph from the output of :func:`graph_to_dict`."""
+    graph = LabeledGraph(name=payload.get("name"))
+    for vertex, label in payload["vertices"]:
+        graph.add_vertex(vertex, label)
+    for edge in payload["edges"]:
+        if len(edge) == 3:
+            u, v, edge_label = edge
+        else:
+            (u, v), edge_label = edge, None
+        graph.add_edge(u, v, edge_label)
+    return graph
+
+
+def write_jsonl(graphs: Iterable[LabeledGraph], path: str | Path) -> None:
+    """Write ``graphs`` to ``path``, one JSON document per line."""
+    with Path(path).open("w", encoding="utf-8") as handle:
+        for graph in graphs:
+            handle.write(json.dumps(graph_to_dict(graph)))
+            handle.write("\n")
+
+
+def read_jsonl(path: str | Path) -> list[LabeledGraph]:
+    """Read a JSONL graph collection from ``path``."""
+    return list(iter_jsonl(path))
+
+
+def iter_jsonl(path: str | Path) -> Iterator[LabeledGraph]:
+    """Lazily iterate over the graphs stored in a JSONL file."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield graph_from_dict(json.loads(line))

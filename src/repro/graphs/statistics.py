@@ -1,0 +1,85 @@
+"""Dataset-level statistics (reproduces Table 1 of the paper).
+
+Table 1 characterises each dataset by the number of distinct vertex labels,
+the number of graphs, the average vertex degree, and the mean / standard
+deviation / maximum of the node and edge counts per graph.  The same summary
+is produced here for any collection of :class:`~repro.graphs.graph.LabeledGraph`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from .graph import LabeledGraph
+
+__all__ = ["DatasetStatistics", "summarize_dataset"]
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _std(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return math.sqrt(sum((value - mean) ** 2 for value in values) / len(values))
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Summary statistics of a graph collection, mirroring Table 1."""
+
+    num_graphs: int
+    num_labels: int
+    average_degree: float
+    nodes_avg: float
+    nodes_std: float
+    nodes_max: int
+    edges_avg: float
+    edges_std: float
+    edges_max: int
+
+    def as_row(self) -> dict[str, float | int]:
+        """Return the statistics as a flat dictionary (one table row)."""
+        return {
+            "num_labels": self.num_labels,
+            "num_graphs": self.num_graphs,
+            "avg_degree": round(self.average_degree, 2),
+            "nodes_avg": round(self.nodes_avg, 1),
+            "nodes_std": round(self.nodes_std, 1),
+            "nodes_max": self.nodes_max,
+            "edges_avg": round(self.edges_avg, 1),
+            "edges_std": round(self.edges_std, 1),
+            "edges_max": self.edges_max,
+        }
+
+
+def summarize_dataset(graphs: Iterable[LabeledGraph]) -> DatasetStatistics:
+    """Compute :class:`DatasetStatistics` over ``graphs``."""
+    graphs = list(graphs)
+    labels: set = set()
+    node_counts: list[int] = []
+    edge_counts: list[int] = []
+    total_degree = 0.0
+    total_vertices = 0
+    for graph in graphs:
+        labels.update(graph.labels())
+        node_counts.append(graph.num_vertices)
+        edge_counts.append(graph.num_edges)
+        total_degree += 2.0 * graph.num_edges
+        total_vertices += graph.num_vertices
+    average_degree = total_degree / total_vertices if total_vertices else 0.0
+    return DatasetStatistics(
+        num_graphs=len(graphs),
+        num_labels=len(labels),
+        average_degree=average_degree,
+        nodes_avg=_mean(node_counts),
+        nodes_std=_std(node_counts),
+        nodes_max=max(node_counts) if node_counts else 0,
+        edges_avg=_mean(edge_counts),
+        edges_std=_std(edge_counts),
+        edges_max=max(edge_counts) if edge_counts else 0,
+    )

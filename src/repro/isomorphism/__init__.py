@@ -1,0 +1,33 @@
+"""Subgraph isomorphism algorithms, cost model and instrumented verifier."""
+
+from .cost import (
+    falling_factorial,
+    graph_pair_cost,
+    isomorphism_test_cost,
+    log_isomorphism_test_cost,
+)
+from .ullmann import UllmannMatcher, ullmann_is_subgraph_isomorphic
+from .verifier import Verifier, VerifierStats
+from .vf2 import (
+    VF2Matcher,
+    are_isomorphic,
+    count_subgraph_embeddings,
+    find_subgraph_embedding,
+    is_subgraph_isomorphic,
+)
+
+__all__ = [
+    "VF2Matcher",
+    "UllmannMatcher",
+    "Verifier",
+    "VerifierStats",
+    "are_isomorphic",
+    "count_subgraph_embeddings",
+    "find_subgraph_embedding",
+    "is_subgraph_isomorphic",
+    "ullmann_is_subgraph_isomorphic",
+    "falling_factorial",
+    "graph_pair_cost",
+    "isomorphism_test_cost",
+    "log_isomorphism_test_cost",
+]

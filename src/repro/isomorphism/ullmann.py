@@ -1,0 +1,151 @@
+"""Ullmann's subgraph isomorphism algorithm (baseline verifier).
+
+Ullmann [1976] is the classic backtracking algorithm the paper cites as the
+ancestor of most practical matchers.  It maintains a candidate matrix
+``M[i][j] = 1`` when pattern vertex *i* may still be mapped onto target
+vertex *j*, and interleaves backtracking over rows with a *refinement*
+procedure: a candidate pair ``(i, j)`` survives only if every neighbour of
+*i* still has at least one candidate among the neighbours of *j*.
+
+It is included both as an alternative verification engine and as the
+baseline for the ``bench_ablation_verifier`` benchmark (VF2 vs Ullmann).
+The semantics match :mod:`repro.isomorphism.vf2`: non-induced subgraph
+monomorphism with vertex-label equality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+
+from ..graphs.graph import LabeledGraph
+
+__all__ = ["UllmannMatcher", "ullmann_is_subgraph_isomorphic"]
+
+
+class UllmannMatcher:
+    """Ullmann matcher for embeddings of ``pattern`` inside ``target``."""
+
+    def __init__(self, pattern: LabeledGraph, target: LabeledGraph) -> None:
+        self.pattern = pattern
+        self.target = target
+        self._pattern_vertices = list(pattern.vertices())
+        self._target_vertices = list(target.vertices())
+        self._target_position = {
+            vertex: position for position, vertex in enumerate(self._target_vertices)
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def has_match(self) -> bool:
+        """True if at least one embedding exists."""
+        return self.find_one() is not None
+
+    def find_one(self) -> dict[Hashable, Hashable] | None:
+        """Return one embedding (pattern vertex -> target vertex) or ``None``."""
+        for mapping in self.iter_matches():
+            return mapping
+        return None
+
+    def iter_matches(self) -> Iterator[dict[Hashable, Hashable]]:
+        """Yield embeddings one at a time."""
+        if self.pattern.num_vertices == 0:
+            yield {}
+            return
+        if self.pattern.num_vertices > self.target.num_vertices:
+            return
+        if self.pattern.num_edges > self.target.num_edges:
+            return
+        candidates = self._initial_candidates()
+        if candidates is None:
+            return
+        yield from self._backtrack(0, candidates, {})
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _initial_candidates(self) -> list[set[int]] | None:
+        """Build the initial candidate sets (row i = pattern vertex i)."""
+        rows: list[set[int]] = []
+        for p_vertex in self._pattern_vertices:
+            label = self.pattern.label(p_vertex)
+            degree = self.pattern.degree(p_vertex)
+            row = {
+                self._target_position[t_vertex]
+                for t_vertex in self.target.vertices_with_label(label)
+                if self.target.degree(t_vertex) >= degree
+            }
+            if not row:
+                return None
+            rows.append(row)
+        return rows
+
+    def _refine(self, candidates: list[set[int]]) -> bool:
+        """Ullmann refinement; returns False if any row becomes empty."""
+        changed = True
+        while changed:
+            changed = False
+            for i, p_vertex in enumerate(self._pattern_vertices):
+                pattern_neighbors = [
+                    self._pattern_vertices.index(n)
+                    for n in self.pattern.neighbors(p_vertex)
+                ]
+                for j in list(candidates[i]):
+                    t_vertex = self._target_vertices[j]
+                    target_neighbor_positions = {
+                        self._target_position[n] for n in self.target.neighbors(t_vertex)
+                    }
+                    for neighbor_row in pattern_neighbors:
+                        if not candidates[neighbor_row] & target_neighbor_positions:
+                            candidates[i].discard(j)
+                            changed = True
+                            break
+                if not candidates[i]:
+                    return False
+        return True
+
+    def _backtrack(
+        self,
+        row: int,
+        candidates: list[set[int]],
+        mapping: dict[int, int],
+    ) -> Iterator[dict[Hashable, Hashable]]:
+        if row == len(self._pattern_vertices):
+            yield {
+                self._pattern_vertices[i]: self._target_vertices[j]
+                for i, j in mapping.items()
+            }
+            return
+        used = set(mapping.values())
+        p_vertex = self._pattern_vertices[row]
+        for j in sorted(candidates[row]):
+            if j in used:
+                continue
+            t_vertex = self._target_vertices[j]
+            if not self._consistent(p_vertex, t_vertex, mapping):
+                continue
+            narrowed = [set(r) for r in candidates]
+            narrowed[row] = {j}
+            if not self._refine(narrowed):
+                continue
+            mapping[row] = j
+            yield from self._backtrack(row + 1, narrowed, mapping)
+            del mapping[row]
+
+    def _consistent(
+        self, p_vertex: Hashable, t_vertex: Hashable, mapping: dict[int, int]
+    ) -> bool:
+        """Check adjacency of the candidate pair against the partial map."""
+        for i, j in mapping.items():
+            mapped_p = self._pattern_vertices[i]
+            mapped_t = self._target_vertices[j]
+            if self.pattern.has_edge(p_vertex, mapped_p) and not self.target.has_edge(
+                t_vertex, mapped_t
+            ):
+                return False
+        return True
+
+
+def ullmann_is_subgraph_isomorphic(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """True if ``pattern`` is subgraph-isomorphic to ``target`` (Ullmann)."""
+    return UllmannMatcher(pattern, target).has_match()

@@ -1,0 +1,252 @@
+"""Base interfaces for filter-then-verify graph query processing methods.
+
+A *method* ``M`` (the paper's notation) owns a feature index over the dataset
+graphs and answers subgraph queries in two stages:
+
+1. **filtering** — produce a candidate set ``CS(g)`` guaranteed to contain
+   every true answer (no false negatives, possibly false positives);
+2. **verification** — run a subgraph isomorphism test for every candidate.
+
+:class:`SubgraphQueryMethod` captures that contract.  The iGQ engine wraps an
+instance of it and only interferes between the two stages (pruning the
+candidate set), which is why the interface also exposes the query's extracted
+features and a way to verify an explicitly given candidate set.
+
+The same index supports *supergraph* queries (Definition 4) through
+:meth:`SubgraphQueryMethod.filter_supergraph_candidates`: a dataset graph can
+only be contained in the query if all of its features appear in the query at
+least as often.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass, field
+
+from ..features.extractor import FeatureExtractor, GraphFeatures
+from ..graphs.database import GraphDatabase
+from ..graphs.graph import LabeledGraph
+from ..isomorphism.verifier import Verifier
+
+__all__ = ["QueryResult", "SubgraphQueryMethod"]
+
+
+@dataclass
+class QueryResult:
+    """Outcome and accounting of one query execution."""
+
+    query_name: str | None
+    answers: set = field(default_factory=set)
+    candidates: set = field(default_factory=set)
+    num_isomorphism_tests: int = 0
+    filter_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    #: extra time spent in the iGQ query index (zero for plain methods)
+    igq_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total query processing time (filtering + iGQ + verification)."""
+        return self.filter_seconds + self.igq_seconds + self.verify_seconds
+
+    @property
+    def num_candidates(self) -> int:
+        """Size of the candidate set produced by the filtering stage."""
+        return len(self.candidates)
+
+    @property
+    def num_answers(self) -> int:
+        """Size of the answer set."""
+        return len(self.answers)
+
+    @property
+    def num_false_positives(self) -> int:
+        """Candidates that failed verification."""
+        return len(self.candidates) - len(self.candidates & self.answers)
+
+
+class SubgraphQueryMethod(ABC):
+    """Abstract filter-then-verify subgraph query processing method."""
+
+    #: short identifier used in reports and benchmark tables
+    name: str = "abstract"
+
+    #: methods that never consult per-graph feature tables (e.g. the scan
+    #: baseline) may set this to ``False`` to skip feature extraction at
+    #: indexing time; the tables are then built lazily if ever needed.
+    needs_graph_features: bool = True
+
+    def __init__(self, extractor: FeatureExtractor, verifier: Verifier | None = None) -> None:
+        self.extractor = extractor
+        self.verifier = verifier if verifier is not None else Verifier()
+        self.database: GraphDatabase | None = None
+        self._graph_features: dict[Hashable, GraphFeatures] = {}
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+    def build_index(self, database: GraphDatabase) -> None:
+        """Index every graph of ``database``."""
+        self.database = database
+        self._graph_features = {}
+        if not self.needs_graph_features:
+            return
+        for graph_id, graph in database.items():
+            features = self.extractor.extract(graph)
+            self._graph_features[graph_id] = features
+            self._index_graph(graph_id, graph, features)
+
+    @abstractmethod
+    def _index_graph(
+        self, graph_id: Hashable, graph: LabeledGraph, features: GraphFeatures
+    ) -> None:
+        """Insert one graph's features into the method's index structure."""
+
+    @abstractmethod
+    def index_size_bytes(self) -> int:
+        """Estimated in-memory size of the dataset index (Figure 18)."""
+
+    # ------------------------------------------------------------------
+    # Filtering stage
+    # ------------------------------------------------------------------
+    def extract_query_features(self, query: LabeledGraph) -> GraphFeatures:
+        """Extract the query's features with the method's extractor."""
+        return self.extractor.extract(query)
+
+    @abstractmethod
+    def filter_candidates(
+        self, query: LabeledGraph, features: GraphFeatures | None = None
+    ) -> set:
+        """Return the candidate set ``CS(query)`` for a subgraph query.
+
+        ``features`` may carry the query's already-extracted features to
+        avoid re-extraction (the iGQ engine shares them across components).
+        """
+
+    def filter_supergraph_candidates(
+        self, query: LabeledGraph, features: GraphFeatures | None = None
+    ) -> set:
+        """Candidate set for a *supergraph* query: dataset graphs that may be
+        contained in ``query``.
+
+        A dataset graph survives only if every one of its features occurs in
+        the query at least as often — the mirror image of subgraph filtering,
+        computed from the per-graph feature tables kept at indexing time.
+        """
+        self._require_index()
+        if features is None:
+            features = self.extract_query_features(query)
+        if not self._graph_features:
+            # Lazily build the per-graph feature tables (scan baseline).
+            self._graph_features = {
+                graph_id: self.extractor.extract(graph)
+                for graph_id, graph in self.database.items()
+            }
+        candidates: set = set()
+        for graph_id, graph_features in self._graph_features.items():
+            graph = self.database.get(graph_id)
+            if graph.num_vertices > query.num_vertices:
+                continue
+            if graph.num_edges > query.num_edges:
+                continue
+            if features.covers_counts_of(graph_features):
+                candidates.add(graph_id)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Verification stage
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        query: LabeledGraph,
+        candidate_ids: Iterable[Hashable],
+        features: GraphFeatures | None = None,
+    ) -> set:
+        """Verify candidates for a subgraph query; return the answer ids.
+
+        ``features`` (the query's extracted features) is accepted so that
+        methods using location information during verification — Grapes —
+        can share the extraction done at filtering time; the base
+        implementation ignores it.
+        """
+        self._require_index()
+        answers = set()
+        for graph_id in candidate_ids:
+            if self.verifier.is_subgraph(query, self.database.get(graph_id)):
+                answers.add(graph_id)
+        return answers
+
+    def verify_supergraph(
+        self,
+        query: LabeledGraph,
+        candidate_ids: Iterable[Hashable],
+        features: GraphFeatures | None = None,
+    ) -> set:
+        """Verify candidates for a supergraph query (``G_i ⊆ query``)."""
+        self._require_index()
+        answers = set()
+        for graph_id in candidate_ids:
+            if self.verifier.is_subgraph(self.database.get(graph_id), query):
+                answers.add(graph_id)
+        return answers
+
+    # ------------------------------------------------------------------
+    # End-to-end query processing
+    # ------------------------------------------------------------------
+    def query(self, query: LabeledGraph) -> QueryResult:
+        """Answer a subgraph query: all dataset graphs containing ``query``."""
+        self._require_index()
+        tests_before = self.verifier.stats.tests
+        start = time.perf_counter()
+        features = self.extract_query_features(query)
+        candidates = self.filter_candidates(query, features=features)
+        filter_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        answers = self.verify(query, candidates, features=features)
+        verify_seconds = time.perf_counter() - start
+        return QueryResult(
+            query_name=query.name,
+            answers=answers,
+            candidates=set(candidates),
+            num_isomorphism_tests=self.verifier.stats.tests - tests_before,
+            filter_seconds=filter_seconds,
+            verify_seconds=verify_seconds,
+        )
+
+    def supergraph_query(self, query: LabeledGraph) -> QueryResult:
+        """Answer a supergraph query: all dataset graphs contained in ``query``."""
+        self._require_index()
+        tests_before = self.verifier.stats.tests
+        start = time.perf_counter()
+        features = self.extract_query_features(query)
+        candidates = self.filter_supergraph_candidates(query, features=features)
+        filter_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        answers = self.verify_supergraph(query, candidates, features=features)
+        verify_seconds = time.perf_counter() - start
+        return QueryResult(
+            query_name=query.name,
+            answers=answers,
+            candidates=set(candidates),
+            num_isomorphism_tests=self.verifier.stats.tests - tests_before,
+            filter_seconds=filter_seconds,
+            verify_seconds=verify_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def graph_features(self, graph_id: Hashable) -> GraphFeatures:
+        """Return the stored features of an indexed dataset graph."""
+        self._require_index()
+        return self._graph_features[graph_id]
+
+    def _require_index(self) -> None:
+        if self.database is None:
+            raise RuntimeError(
+                f"{type(self).__name__}.build_index() must be called before querying"
+            )
+
+    def __repr__(self) -> str:
+        indexed = len(self._graph_features)
+        return f"<{type(self).__name__} name={self.name!r} indexed_graphs={indexed}>"

@@ -1,0 +1,15 @@
+"""Query workload generation: popularity samplers and the query generator."""
+
+from .generator import DEFAULT_QUERY_SIZES, QueryGenerator, WorkloadSpec, standard_workloads
+from .zipf import RankSampler, UniformSampler, ZipfSampler, create_sampler
+
+__all__ = [
+    "DEFAULT_QUERY_SIZES",
+    "QueryGenerator",
+    "WorkloadSpec",
+    "standard_workloads",
+    "RankSampler",
+    "UniformSampler",
+    "ZipfSampler",
+    "create_sampler",
+]

@@ -1,0 +1,85 @@
+"""Popularity samplers: uniform and Zipf (the paper's workload knobs).
+
+§7.1 of the paper builds query workloads from two probability distributions —
+one selecting the dataset graph a query is extracted from, one selecting the
+seed node inside that graph — each of which is either uniform or Zipf with
+parameter ``α`` (default 1.4; 1.1 and 2.0/2.4 are used in the skew studies).
+
+The Zipf probability mass is ``p(x) ∝ x^-α`` over ranks ``1..n``; sampling
+uses the inverse-CDF over precomputed cumulative weights.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from abc import ABC, abstractmethod
+
+__all__ = ["RankSampler", "UniformSampler", "ZipfSampler", "create_sampler"]
+
+
+class RankSampler(ABC):
+    """Sampler over the ranks ``0..n-1`` (rank 0 is the most popular item)."""
+
+    def __init__(self, num_items: int) -> None:
+        if num_items < 1:
+            raise ValueError("num_items must be positive")
+        self.num_items = num_items
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank in ``[0, num_items)``."""
+
+    @abstractmethod
+    def probability(self, rank: int) -> float:
+        """Probability mass of ``rank``."""
+
+
+class UniformSampler(RankSampler):
+    """Every rank is equally likely."""
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.num_items)
+
+    def probability(self, rank: int) -> float:
+        if not 0 <= rank < self.num_items:
+            raise ValueError(f"rank {rank} out of range")
+        return 1.0 / self.num_items
+
+
+class ZipfSampler(RankSampler):
+    """Zipf-distributed ranks: ``p(rank r) ∝ (r + 1)^-α``."""
+
+    def __init__(self, num_items: int, alpha: float = 1.4) -> None:
+        super().__init__(num_items)
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        weights = [(rank + 1) ** (-alpha) for rank in range(num_items)]
+        total = sum(weights)
+        self._probabilities = [weight / total for weight in weights]
+        self._cumulative: list[float] = []
+        running = 0.0
+        for probability in self._probabilities:
+            running += probability
+            self._cumulative.append(running)
+        # Guard against floating point drift on the last bucket.
+        self._cumulative[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cumulative, rng.random())
+
+    def probability(self, rank: int) -> float:
+        if not 0 <= rank < self.num_items:
+            raise ValueError(f"rank {rank} out of range")
+        return self._probabilities[rank]
+
+
+def create_sampler(kind: str, num_items: int, alpha: float = 1.4) -> RankSampler:
+    """Build a sampler by name: ``"uniform"`` / ``"uni"`` or ``"zipf"``."""
+    normalized = kind.lower()
+    if normalized in ("uniform", "uni"):
+        return UniformSampler(num_items)
+    if normalized == "zipf":
+        return ZipfSampler(num_items, alpha=alpha)
+    raise ValueError(f"unknown sampler kind {kind!r}; expected 'uniform' or 'zipf'")

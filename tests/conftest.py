@@ -1,0 +1,173 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs import GraphDatabase, LabeledGraph
+
+# ----------------------------------------------------------------------
+# Deterministic example graphs
+# ----------------------------------------------------------------------
+
+
+def make_path_graph(labels: str, name: str | None = None) -> LabeledGraph:
+    """A simple path with one vertex per character of ``labels``."""
+    graph = LabeledGraph(name=name)
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for index in range(len(labels) - 1):
+        graph.add_edge(index, index + 1)
+    return graph
+
+
+def make_cycle_graph(labels: str, name: str | None = None) -> LabeledGraph:
+    """A simple cycle with one vertex per character of ``labels``."""
+    graph = make_path_graph(labels, name=name)
+    if len(labels) > 2:
+        graph.add_edge(len(labels) - 1, 0)
+    return graph
+
+
+def make_star_graph(center: str, leaves: str, name: str | None = None) -> LabeledGraph:
+    """A star: one centre vertex connected to one leaf per character."""
+    graph = LabeledGraph(name=name)
+    graph.add_vertex(0, center)
+    for index, label in enumerate(leaves, start=1):
+        graph.add_vertex(index, label)
+        graph.add_edge(0, index)
+    return graph
+
+
+def make_clique(labels: str, name: str | None = None) -> LabeledGraph:
+    """A complete graph over one vertex per character of ``labels``."""
+    graph = LabeledGraph(name=name)
+    for index, label in enumerate(labels):
+        graph.add_vertex(index, label)
+    for i in range(len(labels)):
+        for j in range(i + 1, len(labels)):
+            graph.add_edge(i, j)
+    return graph
+
+
+def random_labeled_graph(
+    rng: random.Random,
+    num_vertices: int,
+    edge_probability: float,
+    labels: str = "ABC",
+    name: str | None = None,
+    connected: bool = True,
+) -> LabeledGraph:
+    """A random labeled graph, optionally forced to be connected."""
+    graph = LabeledGraph(name=name)
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, rng.choice(labels))
+    if connected:
+        for vertex in range(1, num_vertices):
+            graph.add_edge(vertex, rng.randrange(vertex))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if not graph.has_edge(u, v) and rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+@pytest.fixture
+def triangle() -> LabeledGraph:
+    return make_cycle_graph("ABC", name="triangle")
+
+
+@pytest.fixture
+def path4() -> LabeledGraph:
+    return make_path_graph("ABCA", name="path4")
+
+
+@pytest.fixture
+def tiny_database() -> GraphDatabase:
+    """A small, hand-crafted database with known containment structure."""
+    graphs = [
+        make_path_graph("AB", name="g_ab"),
+        make_path_graph("ABC", name="g_abc"),
+        make_cycle_graph("ABC", name="g_tri"),
+        make_cycle_graph("ABCD", name="g_square"),
+        make_star_graph("A", "BBC", name="g_star"),
+        make_clique("ABCD", name="g_k4"),
+    ]
+    return GraphDatabase.from_graphs(graphs, name="tiny")
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+
+LABELS = "ABC"
+
+
+@st.composite
+def labeled_graphs(draw, max_vertices: int = 8, labels: str = LABELS, connected: bool = True):
+    """Strategy producing small random labeled graphs."""
+    num_vertices = draw(st.integers(min_value=1, max_value=max_vertices))
+    label_choices = draw(
+        st.lists(st.sampled_from(labels), min_size=num_vertices, max_size=num_vertices)
+    )
+    graph = LabeledGraph()
+    for vertex, label in enumerate(label_choices):
+        graph.add_vertex(vertex, label)
+    if connected and num_vertices > 1:
+        parents = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_vertices - 1),
+                min_size=num_vertices - 1,
+                max_size=num_vertices - 1,
+            )
+        )
+        for vertex in range(1, num_vertices):
+            parent = parents[vertex - 1] % vertex
+            graph.add_edge(vertex, parent)
+    possible_edges = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(u + 1, num_vertices)
+        if not graph.has_edge(u, v)
+    ]
+    if possible_edges:
+        extra = draw(st.lists(st.sampled_from(possible_edges), max_size=len(possible_edges)))
+        for u, v in extra:
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def graph_and_subgraph(draw, max_vertices: int = 8, labels: str = LABELS):
+    """Strategy producing ``(graph, subgraph)`` where the second is an actual
+    (connected, non-induced) subgraph of the first."""
+    graph = draw(labeled_graphs(max_vertices=max_vertices, labels=labels))
+    edges = list(graph.edges())
+    if not edges:
+        return graph, graph.copy()
+    # Grow a connected edge subset starting from a random edge.
+    start = draw(st.integers(min_value=0, max_value=len(edges) - 1))
+    chosen = [edges[start]]
+    vertices = set(chosen[0])
+    remaining = [e for i, e in enumerate(edges) if i != start]
+    grow_steps = draw(st.integers(min_value=0, max_value=len(remaining)))
+    for _ in range(grow_steps):
+        frontier = [e for e in remaining if e[0] in vertices or e[1] in vertices]
+        if not frontier:
+            break
+        index = draw(st.integers(min_value=0, max_value=len(frontier) - 1))
+        edge = frontier[index]
+        chosen.append(edge)
+        vertices.update(edge)
+        remaining.remove(edge)
+    subgraph = LabeledGraph()
+    for vertex in vertices:
+        subgraph.add_vertex(vertex, graph.label(vertex))
+    for u, v in chosen:
+        if not subgraph.has_edge(u, v):
+            subgraph.add_edge(u, v)
+    return graph, subgraph

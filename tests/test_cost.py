@@ -1,0 +1,99 @@
+"""Tests for the subgraph-isomorphism cost model of §5.1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import LabeledGraph
+from repro.isomorphism import (
+    falling_factorial,
+    graph_pair_cost,
+    isomorphism_test_cost,
+    log_isomorphism_test_cost,
+)
+
+
+class TestFallingFactorial:
+    def test_basic_values(self):
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(5, 1) == 5
+        assert falling_factorial(5, 3) == 60
+        assert falling_factorial(5, 5) == math.factorial(5)
+
+    def test_k_larger_than_n(self):
+        assert falling_factorial(3, 5) == 0
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            falling_factorial(3, -1)
+
+    @given(st.integers(min_value=0, max_value=12), st.integers(min_value=0, max_value=12))
+    def test_matches_factorial_ratio(self, n, k):
+        if k <= n:
+            assert falling_factorial(n, k) == math.factorial(n) // math.factorial(n - k)
+
+
+class TestCostFormula:
+    def test_exact_matches_paper_formula(self):
+        # c(g', Gi) = Ni * Ni! / (L^(n+1) * (Ni - n)!) with n=3, Ni=5, L=2
+        expected = 5 * math.factorial(5) / (2 ** 4 * math.factorial(2))
+        assert isomorphism_test_cost(3, 5, 2, exact=True) == pytest.approx(expected)
+
+    def test_log_and_exact_agree_for_small_inputs(self):
+        for n, big_n, labels in [(2, 4, 3), (3, 6, 2), (5, 9, 4), (1, 1, 1)]:
+            exact = isomorphism_test_cost(n, big_n, labels, exact=True)
+            approx = isomorphism_test_cost(n, big_n, labels)
+            assert approx == pytest.approx(exact, rel=1e-9)
+
+    def test_large_graphs_do_not_overflow(self):
+        cost = isomorphism_test_cost(20, 3000, 10)
+        assert math.isfinite(cost) or cost == math.inf
+        log_cost = log_isomorphism_test_cost(20, 3000, 10)
+        assert math.isfinite(log_cost)
+
+    def test_cost_grows_with_target_size(self):
+        small = isomorphism_test_cost(5, 10, 3)
+        large = isomorphism_test_cost(5, 20, 3)
+        assert large > small
+
+    def test_cost_decreases_with_more_labels(self):
+        few = isomorphism_test_cost(5, 10, 2)
+        many = isomorphism_test_cost(5, 10, 20)
+        assert many < few
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            isomorphism_test_cost(3, 5, 0)
+        with pytest.raises(ValueError):
+            log_isomorphism_test_cost(3, 0, 2)
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_log_is_log_of_exact(self, n, big_n, labels):
+        exact = isomorphism_test_cost(n, big_n, labels, exact=True)
+        if exact > 0:
+            assert log_isomorphism_test_cost(n, big_n, labels) == pytest.approx(
+                math.log(exact), rel=1e-9
+            )
+
+
+class TestGraphPairCost:
+    def test_uses_vertex_counts(self):
+        query = LabeledGraph()
+        query.add_vertex(0, "A")
+        query.add_vertex(1, "B")
+        query.add_edge(0, 1)
+        target = LabeledGraph()
+        for vertex, label in enumerate("ABCD"):
+            target.add_vertex(vertex, label)
+        assert graph_pair_cost(query, target, num_labels=4) == pytest.approx(
+            isomorphism_test_cost(2, 4, 4)
+        )

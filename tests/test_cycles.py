@@ -1,0 +1,79 @@
+"""Tests for bounded simple-cycle enumeration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.features import cycle_feature_codes, cycle_feature_counts, enumerate_simple_cycles
+
+from .conftest import labeled_graphs, make_clique, make_cycle_graph, make_path_graph
+
+
+class TestEnumeration:
+    def test_triangle_has_one_cycle(self):
+        cycles = list(enumerate_simple_cycles(make_cycle_graph("ABC"), 8))
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {0, 1, 2}
+
+    def test_path_has_no_cycles(self):
+        assert list(enumerate_simple_cycles(make_path_graph("ABCD"), 8)) == []
+
+    def test_k4_cycle_count(self):
+        # K4 has 4 triangles and 3 four-cycles = 7 simple cycles.
+        cycles = list(enumerate_simple_cycles(make_clique("AAAA"), 8))
+        assert len(cycles) == 7
+        assert sum(1 for c in cycles if len(c) == 3) == 4
+        assert sum(1 for c in cycles if len(c) == 4) == 3
+
+    def test_max_length_bound(self):
+        cycles = list(enumerate_simple_cycles(make_clique("AAAA"), 3))
+        assert len(cycles) == 4  # only the triangles
+
+    def test_min_length_bound(self):
+        cycles = list(enumerate_simple_cycles(make_clique("AAAA"), 8, min_length=4))
+        assert len(cycles) == 3  # only the 4-cycles
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            list(enumerate_simple_cycles(make_cycle_graph("ABC"), 8, min_length=2))
+
+    def test_max_smaller_than_min_yields_nothing(self):
+        assert list(enumerate_simple_cycles(make_clique("AAAA"), 2)) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(labeled_graphs(max_vertices=6))
+    def test_cycles_are_simple_and_closed(self, graph):
+        for cycle in enumerate_simple_cycles(graph, 6):
+            assert len(cycle) >= 3
+            assert len(set(cycle)) == len(cycle)
+            for u, v in zip(cycle, cycle[1:]):
+                assert graph.has_edge(u, v)
+            assert graph.has_edge(cycle[-1], cycle[0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(labeled_graphs(max_vertices=6))
+    def test_each_cycle_enumerated_once(self, graph):
+        seen = set()
+        for cycle in enumerate_simple_cycles(graph, 6):
+            key = frozenset(cycle)
+            edge_key = frozenset(
+                frozenset(pair) for pair in zip(cycle, cycle[1:] + (cycle[0],))
+            )
+            assert (key, edge_key) not in seen
+            seen.add((key, edge_key))
+
+
+class TestCycleFeatures:
+    def test_codes_on_square(self):
+        codes = cycle_feature_codes(make_cycle_graph("ABAB"), 8)
+        assert len(codes) == 1
+        assert next(iter(codes)).startswith("cycle:")
+
+    def test_counts_on_k4(self):
+        counts = cycle_feature_counts(make_clique("AAAA"), 8)
+        assert sum(counts.values()) == 7
+
+    def test_counts_respect_max_length(self):
+        counts = cycle_feature_counts(make_clique("AAAA"), 3)
+        assert sum(counts.values()) == 4

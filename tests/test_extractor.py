@@ -1,0 +1,108 @@
+"""Tests for the feature-extraction facade.
+
+The load-bearing property for the whole filter-then-verify stack is
+*anti-monotonicity*: if ``q ⊆ G`` then every feature of ``q`` appears in
+``G`` at least as often.  This is what guarantees no false negatives in the
+filtering stage (for the dataset index, for Isub, and for Isuper's Algorithm
+2 alike), so it is tested property-based for both feature families.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.features import FeatureExtractor
+
+from .conftest import graph_and_subgraph, make_cycle_graph, make_path_graph, make_star_graph
+
+
+class TestConfiguration:
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(kind="wavelets")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(max_path_length=0)
+        with pytest.raises(ValueError):
+            FeatureExtractor(tree_max_size=0)
+        with pytest.raises(ValueError):
+            FeatureExtractor(cycle_max_length=2)
+
+    def test_describe(self):
+        assert FeatureExtractor(max_path_length=3).describe() == {
+            "kind": "paths",
+            "max_path_length": 3,
+        }
+        described = FeatureExtractor(
+            kind=FeatureExtractor.TREES_CYCLES, tree_max_size=5, cycle_max_length=7
+        ).describe()
+        assert described["tree_max_size"] == 5
+        assert described["cycle_max_length"] == 7
+
+
+class TestPathFeatures:
+    def test_counts_and_locations(self):
+        extractor = FeatureExtractor(max_path_length=2)
+        features = extractor.extract(make_star_graph("A", "BB"))
+        assert features.counts[("A",)] == 1
+        assert features.counts[("B",)] == 2
+        assert features.counts[("A", "B")] == 2
+        assert features.counts[("B", "A", "B")] == 1
+        assert features.locations[("A", "B")] == frozenset({0, 1, 2})
+        assert features.num_distinct == 4
+
+    def test_keys_helper(self):
+        extractor = FeatureExtractor(max_path_length=1)
+        features = extractor.extract(make_path_graph("AB"))
+        assert features.keys() == {("A",), ("B",), ("A", "B")}
+
+
+class TestTreeCycleFeatures:
+    def test_cycle_feature_present(self):
+        extractor = FeatureExtractor(kind=FeatureExtractor.TREES_CYCLES, cycle_max_length=4)
+        features = extractor.extract(make_cycle_graph("ABC"))
+        cycle_keys = [key for key in features.counts if key[0].startswith("cycle:")]
+        assert len(cycle_keys) == 1
+
+    def test_tree_features_present(self):
+        extractor = FeatureExtractor(kind=FeatureExtractor.TREES_CYCLES, tree_max_size=3)
+        features = extractor.extract(make_path_graph("ABC"))
+        tree_keys = [key for key in features.counts if key[0].startswith("tree:")]
+        assert len(tree_keys) >= 3  # singletons and edges at minimum
+
+    def test_locations_populated(self):
+        extractor = FeatureExtractor(kind=FeatureExtractor.TREES_CYCLES, tree_max_size=2)
+        features = extractor.extract(make_path_graph("AB"))
+        for vertices in features.locations.values():
+            assert vertices <= {0, 1}
+
+
+class TestContainmentHelpers:
+    def test_contains_all_of_and_covers_counts(self):
+        extractor = FeatureExtractor(max_path_length=2)
+        small = extractor.extract(make_path_graph("AB"))
+        large = extractor.extract(make_star_graph("A", "BB"))
+        assert large.contains_all_of(small)
+        assert large.covers_counts_of(small)
+        assert not small.contains_all_of(large)
+        assert not small.covers_counts_of(large)
+
+
+class TestAntiMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_and_subgraph(max_vertices=7))
+    def test_path_features_are_anti_monotone(self, pair):
+        graph, subgraph = pair
+        extractor = FeatureExtractor(max_path_length=3)
+        assert extractor.extract(graph).covers_counts_of(extractor.extract(subgraph))
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph_and_subgraph(max_vertices=6))
+    def test_tree_cycle_features_are_anti_monotone(self, pair):
+        graph, subgraph = pair
+        extractor = FeatureExtractor(
+            kind=FeatureExtractor.TREES_CYCLES, tree_max_size=3, cycle_max_length=4
+        )
+        assert extractor.extract(graph).covers_counts_of(extractor.extract(subgraph))

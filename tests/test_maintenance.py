@@ -1,0 +1,119 @@
+"""Tests for the windowed maintenance scheme of §5.2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    IndexMaintenance,
+    PendingQuery,
+    QueryCache,
+    SubgraphQueryIndex,
+    SupergraphQueryIndex,
+    UtilityReplacementPolicy,
+)
+from repro.features import FeatureExtractor
+
+from .conftest import make_path_graph
+
+EXTRACTOR = FeatureExtractor(max_path_length=2)
+
+
+def pending(label: str, answer=()):
+    graph = make_path_graph(label)
+    return PendingQuery(graph=graph, features=EXTRACTOR.extract(graph), answer=frozenset(answer))
+
+
+class TestConfiguration:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            IndexMaintenance(cache_size=0)
+        with pytest.raises(ValueError):
+            IndexMaintenance(cache_size=10, window_size=0)
+        with pytest.raises(ValueError):
+            IndexMaintenance(cache_size=5, window_size=6)
+
+    def test_default_policy_is_utility(self):
+        maintenance = IndexMaintenance(cache_size=10, window_size=2)
+        assert isinstance(maintenance.policy, UtilityReplacementPolicy)
+
+
+class TestWindow:
+    def test_submit_reports_full_window(self):
+        maintenance = IndexMaintenance(cache_size=10, window_size=2)
+        assert maintenance.submit(pending("AB")) is False
+        assert maintenance.window_fill == 1
+        assert maintenance.submit(pending("BC")) is True
+
+    def test_flush_empty_window_is_noop(self):
+        maintenance = IndexMaintenance(cache_size=4, window_size=2)
+        cache = QueryCache()
+        report = maintenance.flush(cache, None, None)
+        assert report.inserted == 0
+        assert report.evicted == 0
+
+    def test_flush_inserts_and_empties_window(self):
+        maintenance = IndexMaintenance(cache_size=10, window_size=2)
+        cache = QueryCache()
+        maintenance.submit(pending("AB"))
+        maintenance.submit(pending("BC"))
+        report = maintenance.flush(cache, None, None)
+        assert report.inserted == 2
+        assert report.evicted == 0
+        assert report.cache_size_after == 2
+        assert maintenance.window_fill == 0
+
+    def test_no_eviction_during_warmup(self):
+        maintenance = IndexMaintenance(cache_size=6, window_size=2)
+        cache = QueryCache()
+        for labels in ("AB", "BC"):
+            maintenance.submit(pending(labels))
+        report = maintenance.flush(cache, None, None)
+        assert report.evicted == 0
+
+    def test_eviction_when_capacity_exceeded(self):
+        maintenance = IndexMaintenance(cache_size=3, window_size=2)
+        cache = QueryCache()
+        # Pre-fill the cache to capacity.
+        for labels in ("AB", "BC", "CA"):
+            entry = cache.add(
+                make_path_graph(labels), EXTRACTOR.extract(make_path_graph(labels)), frozenset()
+            )
+            entry.alleviated_cost = 100.0  # old entries look valuable
+        cache.query_counter = 10
+        maintenance.submit(pending("AA"))
+        maintenance.submit(pending("CC"))
+        report = maintenance.flush(cache, None, None)
+        assert report.inserted == 2
+        assert report.evicted == 2
+        assert len(cache) == 3
+        assert report.cache_size_after == 3
+
+    def test_flush_rebuilds_component_indexes(self):
+        maintenance = IndexMaintenance(cache_size=5, window_size=1)
+        cache = QueryCache()
+        isub = SubgraphQueryIndex()
+        isuper = SupergraphQueryIndex()
+        maintenance.submit(pending("ABC"))
+        maintenance.flush(cache, isub, isuper)
+        assert len(isub) == 1
+        assert len(isuper) == 1
+        maintenance.submit(pending("BCD"))
+        maintenance.flush(cache, isub, isuper)
+        assert len(isub) == 2
+        assert len(isuper) == 2
+
+    def test_evicted_entries_leave_indexes_after_rebuild(self):
+        maintenance = IndexMaintenance(cache_size=1, window_size=1)
+        cache = QueryCache()
+        isub = SubgraphQueryIndex()
+        isuper = SupergraphQueryIndex()
+        maintenance.submit(pending("AB"))
+        maintenance.flush(cache, isub, isuper)
+        cache.query_counter = 5
+        maintenance.submit(pending("CD"))
+        report = maintenance.flush(cache, isub, isuper)
+        assert report.evicted == 1
+        assert len(cache) == 1
+        assert len(isub) == 1
+        assert next(cache.entries()).graph.label(0) == "C"

@@ -1,0 +1,144 @@
+"""Unit tests for BFS/DFS traversal, components and distances."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.graphs import (
+    GraphError,
+    LabeledGraph,
+    bfs_distances,
+    bfs_edges,
+    bfs_order,
+    connected_components,
+    dfs_order,
+    is_connected,
+    largest_connected_component,
+    shortest_path_length,
+    vertices_within_distance,
+)
+
+from .conftest import labeled_graphs, make_cycle_graph, make_path_graph
+
+
+def two_component_graph() -> LabeledGraph:
+    graph = make_path_graph("ABC")
+    graph.add_vertex(10, "X")
+    graph.add_vertex(11, "Y")
+    graph.add_edge(10, 11)
+    return graph
+
+
+class TestBFS:
+    def test_bfs_order_starts_at_source(self):
+        graph = make_path_graph("ABCD")
+        order = list(bfs_order(graph, 0))
+        assert order == [0, 1, 2, 3]
+
+    def test_bfs_order_unknown_source(self):
+        graph = make_path_graph("AB")
+        with pytest.raises(GraphError):
+            list(bfs_order(graph, 99))
+
+    def test_bfs_edges_form_spanning_tree(self):
+        graph = make_cycle_graph("ABCD")
+        edges = list(bfs_edges(graph, 0))
+        assert len(edges) == 3  # |V| - 1 tree edges
+
+    def test_bfs_distances(self):
+        graph = make_path_graph("ABCDE")
+        distances = bfs_distances(graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_distances_ignore_other_component(self):
+        graph = two_component_graph()
+        distances = bfs_distances(graph, 0)
+        assert 10 not in distances
+
+    @given(labeled_graphs(max_vertices=7))
+    def test_bfs_visits_whole_component(self, graph):
+        source = next(graph.vertices())
+        visited = set(bfs_order(graph, source))
+        assert visited == set(bfs_distances(graph, source))
+
+
+class TestDFS:
+    def test_dfs_covers_component(self):
+        graph = make_cycle_graph("ABCD")
+        assert set(dfs_order(graph, 0)) == {0, 1, 2, 3}
+
+    def test_dfs_unknown_source(self):
+        graph = make_path_graph("AB")
+        with pytest.raises(GraphError):
+            list(dfs_order(graph, 7))
+
+
+class TestComponents:
+    def test_single_component(self):
+        graph = make_cycle_graph("ABC")
+        components = connected_components(graph)
+        assert len(components) == 1
+        assert components[0] == {0, 1, 2}
+
+    def test_two_components_sorted_by_size(self):
+        graph = two_component_graph()
+        components = connected_components(graph)
+        assert [len(c) for c in components] == [3, 2]
+
+    def test_is_connected(self):
+        assert is_connected(make_path_graph("ABCD"))
+        assert not is_connected(two_component_graph())
+        assert is_connected(LabeledGraph())
+
+    def test_largest_connected_component(self):
+        graph = two_component_graph()
+        largest = largest_connected_component(graph)
+        assert largest.num_vertices == 3
+        assert set(largest.vertices()) == {0, 1, 2}
+
+    @given(labeled_graphs(max_vertices=7, connected=False))
+    def test_components_partition_vertices(self, graph):
+        components = connected_components(graph)
+        union = set()
+        total = 0
+        for component in components:
+            union |= component
+            total += len(component)
+        assert union == set(graph.vertices())
+        assert total == graph.num_vertices
+
+
+class TestDistances:
+    def test_shortest_path_length(self):
+        graph = make_cycle_graph("ABCDEF")
+        assert shortest_path_length(graph, 0, 3) == 3
+        assert shortest_path_length(graph, 0, 5) == 1
+
+    def test_shortest_path_disconnected(self):
+        graph = two_component_graph()
+        assert shortest_path_length(graph, 0, 10) is None
+
+    def test_shortest_path_unknown_target(self):
+        graph = make_path_graph("AB")
+        with pytest.raises(GraphError):
+            shortest_path_length(graph, 0, 77)
+
+    def test_vertices_within_distance(self):
+        graph = make_path_graph("ABCDE")
+        assert vertices_within_distance(graph, [0], 2) == {0, 1, 2}
+        assert vertices_within_distance(graph, [0, 4], 1) == {0, 1, 3, 4}
+
+    def test_vertices_within_distance_zero(self):
+        graph = make_path_graph("ABC")
+        assert vertices_within_distance(graph, [1], 0) == {1}
+
+    def test_vertices_within_negative_radius(self):
+        graph = make_path_graph("AB")
+        with pytest.raises(ValueError):
+            vertices_within_distance(graph, [0], -1)
+
+    def test_vertices_within_distance_unknown_source(self):
+        graph = make_path_graph("AB")
+        with pytest.raises(GraphError):
+            vertices_within_distance(graph, [9], 1)

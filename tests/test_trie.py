@@ -1,0 +1,99 @@
+"""Tests for the feature trie with per-graph postings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.features import FeatureTrie
+
+
+def build_sample_trie() -> FeatureTrie:
+    trie = FeatureTrie()
+    trie.insert(("A", "B"), "g1", 2)
+    trie.insert(("A", "B"), "g2", 1)
+    trie.insert(("A", "B", "C"), "g1", 1)
+    trie.insert(("X",), "g3", 5)
+    return trie
+
+
+class TestInsertAndGet:
+    def test_postings(self):
+        trie = build_sample_trie()
+        assert trie.get(("A", "B")) == {"g1": 2, "g2": 1}
+        assert trie.get(("A", "B", "C")) == {"g1": 1}
+        assert trie.get(("X",)) == {"g3": 5}
+
+    def test_missing_key(self):
+        trie = build_sample_trie()
+        assert trie.get(("Z",)) == {}
+        assert ("Z",) not in trie
+
+    def test_contains_requires_postings(self):
+        trie = build_sample_trie()
+        assert ("A", "B") in trie
+        # ("A",) is an internal node without postings of its own.
+        assert ("A",) not in trie
+
+    def test_reinsert_overwrites_count(self):
+        trie = build_sample_trie()
+        trie.insert(("A", "B"), "g1", 7)
+        assert trie.get(("A", "B"))["g1"] == 7
+        assert trie.num_features == 3
+
+    def test_invalid_occurrences(self):
+        trie = FeatureTrie()
+        with pytest.raises(ValueError):
+            trie.insert(("A",), "g", 0)
+
+    def test_num_features(self):
+        assert build_sample_trie().num_features == 3
+
+
+class TestRemoveGraph:
+    def test_remove_graph_postings(self):
+        trie = build_sample_trie()
+        trie.remove_graph("g1")
+        assert trie.get(("A", "B")) == {"g2": 1}
+        assert trie.get(("A", "B", "C")) == {}
+        assert trie.num_features == 2
+
+    def test_remove_prunes_empty_branches(self):
+        trie = build_sample_trie()
+        nodes_before = trie.num_nodes()
+        trie.remove_graph("g3")
+        assert trie.num_nodes() < nodes_before
+        assert ("X",) not in trie
+
+    def test_remove_unknown_graph_is_noop(self):
+        trie = build_sample_trie()
+        trie.remove_graph("ghost")
+        assert trie.num_features == 3
+
+    def test_graph_ids(self):
+        trie = build_sample_trie()
+        assert trie.graph_ids() == {"g1", "g2", "g3"}
+        trie.remove_graph("g2")
+        assert trie.graph_ids() == {"g1", "g3"}
+
+
+class TestIntrospection:
+    def test_items_round_trip(self):
+        trie = build_sample_trie()
+        items = dict(trie.items())
+        assert items[("A", "B")] == {"g1": 2, "g2": 1}
+        assert len(items) == 3
+
+    def test_num_postings(self):
+        assert build_sample_trie().num_postings() == 4
+
+    def test_estimated_size_grows_with_content(self):
+        small = FeatureTrie()
+        small.insert(("A",), "g", 1)
+        large = build_sample_trie()
+        assert large.estimated_size_bytes() > small.estimated_size_bytes()
+
+    def test_empty_trie(self):
+        trie = FeatureTrie()
+        assert trie.num_features == 0
+        assert trie.num_postings() == 0
+        assert list(trie.items()) == []

@@ -1,0 +1,54 @@
+"""Tests for the instrumented verification engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isomorphism import Verifier
+
+from .conftest import make_cycle_graph, make_path_graph
+
+
+class TestVerifier:
+    def test_counts_tests_and_outcomes(self):
+        verifier = Verifier()
+        assert verifier.is_subgraph(make_path_graph("ABC"), make_cycle_graph("ABC"))
+        assert not verifier.is_subgraph(make_cycle_graph("ABC"), make_path_graph("ABC"))
+        stats = verifier.stats
+        assert stats.tests == 2
+        assert stats.positives == 1
+        assert stats.negatives == 1
+        assert stats.total_seconds >= 0.0
+        assert len(stats.per_test_seconds) == 2
+
+    def test_is_supergraph_swaps_arguments(self):
+        verifier = Verifier()
+        assert verifier.is_supergraph(make_cycle_graph("ABC"), make_path_graph("ABC"))
+        assert verifier.stats.tests == 1
+
+    def test_reset(self):
+        verifier = Verifier()
+        verifier.is_subgraph(make_path_graph("AB"), make_path_graph("AB"))
+        verifier.reset()
+        assert verifier.stats.tests == 0
+        assert verifier.stats.per_test_seconds == []
+
+    def test_ullmann_backend(self):
+        verifier = Verifier(algorithm="ullmann")
+        assert verifier.is_subgraph(make_path_graph("ABC"), make_cycle_graph("ABC"))
+        assert not verifier.is_subgraph(make_cycle_graph("ABC"), make_path_graph("ABC"))
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            Verifier(algorithm="magic")
+
+    def test_backends_agree(self):
+        cases = [
+            (make_path_graph("ABC"), make_cycle_graph("ABC")),
+            (make_cycle_graph("ABC"), make_path_graph("ABC")),
+            (make_path_graph("AAB"), make_cycle_graph("ABAB")),
+        ]
+        vf2 = Verifier(algorithm="vf2")
+        ullmann = Verifier(algorithm="ullmann")
+        for pattern, target in cases:
+            assert vf2.is_subgraph(pattern, target) == ullmann.is_subgraph(pattern, target)

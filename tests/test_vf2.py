@@ -1,0 +1,161 @@
+"""Tests for the VF2-style subgraph isomorphism matcher.
+
+Correctness is checked on hand-built cases and, property-based, against the
+``networkx`` matcher used as an oracle (networkx is a test-only dependency).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import LabeledGraph
+from repro.isomorphism import (
+    VF2Matcher,
+    are_isomorphic,
+    count_subgraph_embeddings,
+    find_subgraph_embedding,
+    is_subgraph_isomorphic,
+)
+
+from .conftest import (
+    graph_and_subgraph,
+    labeled_graphs,
+    make_clique,
+    make_cycle_graph,
+    make_path_graph,
+    make_star_graph,
+)
+
+
+def to_networkx(graph: LabeledGraph) -> nx.Graph:
+    result = nx.Graph()
+    for vertex in graph.vertices():
+        result.add_node(vertex, label=graph.label(vertex))
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def networkx_is_subgraph(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """Oracle: non-induced, label-preserving subgraph isomorphism."""
+    matcher = nx.algorithms.isomorphism.GraphMatcher(
+        to_networkx(target),
+        to_networkx(pattern),
+        node_match=lambda a, b: a["label"] == b["label"],
+    )
+    return matcher.subgraph_is_monomorphic()
+
+
+class TestKnownCases:
+    def test_path_in_cycle(self):
+        assert is_subgraph_isomorphic(make_path_graph("ABC"), make_cycle_graph("ABC"))
+
+    def test_cycle_not_in_path(self):
+        assert not is_subgraph_isomorphic(make_cycle_graph("ABC"), make_path_graph("ABC"))
+
+    def test_label_mismatch(self):
+        assert not is_subgraph_isomorphic(make_path_graph("AZ"), make_cycle_graph("ABC"))
+
+    def test_triangle_in_k4(self):
+        assert is_subgraph_isomorphic(make_cycle_graph("AAA"), make_clique("AAAA"))
+
+    def test_star_needs_degree(self):
+        star = make_star_graph("A", "BBB")
+        assert not is_subgraph_isomorphic(star, make_path_graph("BAB"))
+        bigger_star = make_star_graph("A", "BBBB")
+        assert is_subgraph_isomorphic(star, bigger_star)
+
+    def test_empty_pattern_matches_everything(self):
+        assert is_subgraph_isomorphic(LabeledGraph(), make_path_graph("AB"))
+
+    def test_pattern_larger_than_target(self):
+        assert not is_subgraph_isomorphic(make_path_graph("ABCD"), make_path_graph("AB"))
+
+    def test_disconnected_pattern(self):
+        pattern = LabeledGraph()
+        pattern.add_vertex(0, "A")
+        pattern.add_vertex(1, "C")
+        target = make_path_graph("ABC")
+        assert is_subgraph_isomorphic(pattern, target)
+        pattern.add_vertex(2, "Z")
+        assert not is_subgraph_isomorphic(pattern, target)
+
+    def test_embedding_is_valid(self):
+        pattern = make_path_graph("ABC")
+        target = make_cycle_graph("ABCD")
+        embedding = find_subgraph_embedding(pattern, target)
+        assert embedding is not None
+        assert len(set(embedding.values())) == pattern.num_vertices
+        for u, v in pattern.edges():
+            assert target.has_edge(embedding[u], embedding[v])
+        for vertex in pattern.vertices():
+            assert pattern.label(vertex) == target.label(embedding[vertex])
+
+    def test_no_embedding_returns_none(self):
+        assert find_subgraph_embedding(make_cycle_graph("AAA"), make_path_graph("AAA")) is None
+
+    def test_count_embeddings_path_in_triangle(self):
+        # A labelled A-A path embeds in an all-A triangle 6 times (3 edges x 2
+        # directions).
+        assert count_subgraph_embeddings(make_path_graph("AA"), make_cycle_graph("AAA")) == 6
+
+    def test_count_embeddings_with_limit(self):
+        count = count_subgraph_embeddings(
+            make_path_graph("AA"), make_cycle_graph("AAA"), limit=2
+        )
+        assert count == 2
+
+    def test_iter_matches_limit_zero(self):
+        matcher = VF2Matcher(make_path_graph("AA"), make_cycle_graph("AAA"))
+        assert list(matcher.iter_matches(limit=0)) == []
+
+    def test_induced_semantics(self):
+        # An induced A-A-A path does not exist inside an all-A triangle.
+        path = make_path_graph("AAA")
+        triangle = make_cycle_graph("AAA")
+        assert is_subgraph_isomorphic(path, triangle, induced=False)
+        assert not is_subgraph_isomorphic(path, triangle, induced=True)
+
+
+class TestIsomorphism:
+    def test_same_graph_relabeled(self):
+        graph = make_cycle_graph("ABCD")
+        other = LabeledGraph()
+        for vertex, label in [(10, "C"), (11, "D"), (12, "A"), (13, "B")]:
+            other.add_vertex(vertex, label)
+        other.add_edge(12, 13)
+        other.add_edge(13, 10)
+        other.add_edge(10, 11)
+        other.add_edge(11, 12)
+        assert are_isomorphic(graph, other)
+
+    def test_different_sizes(self):
+        assert not are_isomorphic(make_path_graph("AB"), make_path_graph("ABC"))
+
+    def test_same_size_different_structure(self):
+        assert not are_isomorphic(make_path_graph("AAAA"), make_star_graph("A", "AAA"))
+
+    def test_different_labels(self):
+        assert not are_isomorphic(make_path_graph("AAB"), make_path_graph("ABB"))
+
+
+class TestAgainstNetworkxOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(labeled_graphs(max_vertices=5), labeled_graphs(max_vertices=7))
+    def test_random_pairs_match_oracle(self, pattern, target):
+        assert is_subgraph_isomorphic(pattern, target) == networkx_is_subgraph(
+            pattern, target
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph_and_subgraph(max_vertices=8))
+    def test_true_subgraphs_always_found(self, pair):
+        graph, subgraph = pair
+        assert is_subgraph_isomorphic(subgraph, graph)
+
+    @settings(max_examples=40, deadline=None)
+    @given(labeled_graphs(max_vertices=6))
+    def test_every_graph_contains_itself(self, graph):
+        assert is_subgraph_isomorphic(graph, graph)
+        assert are_isomorphic(graph, graph.relabeled())
