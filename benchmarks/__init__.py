@@ -1,0 +1,2 @@
+"""Package marker so the figure benchmarks' ``from .conftest import ...``
+resolves when pytest is invoked from the repository root."""

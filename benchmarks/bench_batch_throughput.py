@@ -1,0 +1,148 @@
+"""Benchmark: sequential vs batched-parallel query throughput.
+
+Models the repeated-query traffic the paper targets: a pool of distinct
+queries is generated from the dataset, then a stream is drawn from that pool
+with a Zipf popularity distribution (popular queries recur — the situation
+the iGQ cache and the batch feature memo both exploit).  The stream is run
+three ways over fresh engines:
+
+1. ``sequential`` — the plain one-at-a-time ``IGQ.query`` loop,
+2. ``batch(1)`` — ``IGQ.run_batch`` with one worker (feature memoisation
+   only; the deterministic fallback path),
+3. ``batch(N)`` — ``IGQ.run_batch`` with a worker pool (``auto`` backend:
+   process-based verification when the machine has more than one CPU).
+
+All three must produce identical answer sets; the script exits non-zero if
+they do not.  Results are printed as JSON (queries/sec per mode) and
+optionally written to a file for the CI artifact trail.
+
+Run directly::
+
+    python benchmarks/bench_batch_throughput.py --num-queries 240 --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import IGQ, default_num_workers, effective_cpu_count  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.methods import create_method  # noqa: E402
+from repro.workloads.generator import QueryGenerator, WorkloadSpec  # noqa: E402
+from repro.workloads.zipf import create_sampler  # noqa: E402
+
+
+def build_stream(database, num_queries: int, distinct: int, alpha: float, seed: int):
+    """A query stream of ``num_queries`` drawn Zipf-style from a distinct pool."""
+    spec = WorkloadSpec(
+        name="zipf-zipf",
+        graph_distribution="zipf",
+        node_distribution="zipf",
+        alpha=alpha,
+        seed=seed,
+    )
+    pool = QueryGenerator(database, spec).generate(distinct)
+    rng = random.Random(seed + 1)
+    sampler = create_sampler("zipf", len(pool), alpha=alpha)
+    return [pool[sampler.sample(rng)] for _ in range(num_queries)]
+
+
+def fresh_engine(database, method_name: str, cache_size: int, window_size: int) -> IGQ:
+    if method_name in ("ggsx", "grapes"):
+        method = create_method(method_name, max_path_length=3)
+    else:
+        method = create_method(method_name)
+    method.build_index(database)
+    engine = IGQ(method, cache_size=cache_size, window_size=window_size)
+    engine.attach_prebuilt()
+    return engine
+
+
+def run_benchmark(args) -> dict:
+    database = load_dataset(args.dataset, scale=args.scale)
+    stream = build_stream(
+        database, args.num_queries, args.distinct, args.alpha, args.seed
+    )
+    workers = args.workers if args.workers else default_num_workers()
+
+    engine = fresh_engine(database, args.method, args.cache_size, args.window_size)
+    start = time.perf_counter()
+    sequential = [engine.query(query) for query in stream]
+    sequential_seconds = time.perf_counter() - start
+
+    engine = fresh_engine(database, args.method, args.cache_size, args.window_size)
+    start = time.perf_counter()
+    batch_one = engine.run_batch(stream, num_workers=1)
+    batch_one_seconds = time.perf_counter() - start
+
+    engine = fresh_engine(database, args.method, args.cache_size, args.window_size)
+    start = time.perf_counter()
+    batch_many = engine.run_batch(stream, num_workers=workers, backend=args.backend)
+    batch_many_seconds = time.perf_counter() - start
+
+    identical = all(
+        set(a.answers) == set(b.answers) == set(c.answers)
+        for a, b, c in zip(sequential, batch_one, batch_many)
+    )
+    n = len(stream)
+    return {
+        "dataset": args.dataset,
+        "method": args.method,
+        "num_queries": n,
+        "distinct_queries": args.distinct,
+        "alpha": args.alpha,
+        "workers": workers,
+        "backend": args.backend,
+        "effective_cpus": effective_cpu_count(),
+        "sequential_qps": round(n / sequential_seconds, 2),
+        "batch1_qps": round(n / batch_one_seconds, 2),
+        "batchN_qps": round(n / batch_many_seconds, 2),
+        "batch1_speedup": round(sequential_seconds / batch_one_seconds, 3),
+        "batchN_speedup": round(sequential_seconds / batch_many_seconds, 3),
+        "answers_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--dataset", default="synthetic")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--method", default="ggsx")
+    parser.add_argument("--num-queries", type=int, default=240)
+    parser.add_argument("--distinct", type=int, default=60)
+    parser.add_argument("--alpha", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--cache-size", type=int, default=40)
+    parser.add_argument("--window-size", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=0, help="0 = auto-pick")
+    parser.add_argument("--backend", default="auto", help="auto|sequential|thread|process")
+    parser.add_argument("--output", default=None, help="write the JSON result here too")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    if not result["answers_identical"]:
+        print("FAIL: batched answers differ from the sequential path", file=sys.stderr)
+        return 1
+    if result["batchN_speedup"] < 1.0:
+        print(
+            f"note: run_batch({result['workers']}) did not beat the sequential loop "
+            f"on this machine ({result['effective_cpus']} effective CPUs)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""CI bench-smoke: one tiny speedup experiment, emitted as a JSON artifact.
+
+Runs a single small-synthetic ``run_speedup_experiment`` configuration (a
+few dozen queries, seconds of wall clock) and writes the headline numbers —
+isomorphism-test and time speedups of iGQ over the base method, plus the
+batch-throughput figures — to a JSON file.  The CI workflow uploads that
+file on every run, so a performance regression shows up as a diff in the
+per-PR artifact rather than silently rotting.
+
+Run directly::
+
+    python benchmarks/bench_ci_smoke.py --output bench-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import effective_cpu_count  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    ExperimentConfig,
+    run_speedup_experiment,
+)
+
+#: deliberately tiny: the point is trend visibility per PR, not precision
+SMOKE_CONFIG = ExperimentConfig(
+    dataset="synthetic",
+    method="ggsx",
+    workload="zipf-zipf",
+    alpha=1.4,
+    num_queries=60,
+    cache_size=20,
+    window_size=5,
+)
+
+
+def run_smoke() -> dict:
+    start = time.perf_counter()
+    outcome = run_speedup_experiment(SMOKE_CONFIG)
+    wall_seconds = time.perf_counter() - start
+    return {
+        "experiment": outcome.as_dict(),
+        "base": outcome.base.as_dict(),
+        "igq": outcome.igq.as_dict(),
+        "wall_seconds": round(wall_seconds, 3),
+        "python": platform.python_version(),
+        "effective_cpus": effective_cpu_count(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--output", default="bench-smoke.json")
+    args = parser.parse_args(argv)
+
+    result = run_smoke()
+    text = json.dumps(result, indent=2)
+    print(text)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+    # Sanity gates, not performance gates: the numbers must exist and the
+    # iGQ run must not have done *more* isomorphism tests than the base.
+    igq_tests = result["experiment"]["igq_avg_tests"]
+    base_tests = result["experiment"]["base_avg_tests"]
+    if igq_tests > base_tests:
+        print(
+            f"FAIL: iGQ averaged more isomorphism tests than the base method "
+            f"({igq_tests} > {base_tests})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

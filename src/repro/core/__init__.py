@@ -1,7 +1,14 @@
 """iGQ core: query cache, component indexes, replacement policy, engine."""
 
+from .batch import (
+    BatchExecutor,
+    BatchStats,
+    FeatureMemo,
+    default_num_workers,
+    effective_cpu_count,
+)
 from .cache import CacheEntry, QueryCache
-from .engine import IGQ, IGQQueryResult
+from .engine import IGQ, IGQQueryResult, QueryPlan
 from .isub import SubgraphQueryIndex
 from .isuper import SupergraphQueryIndex
 from .maintenance import IndexMaintenance, MaintenanceReport, PendingQuery
@@ -16,6 +23,12 @@ from .replacement import (
 __all__ = [
     "IGQ",
     "IGQQueryResult",
+    "QueryPlan",
+    "BatchExecutor",
+    "BatchStats",
+    "FeatureMemo",
+    "default_num_workers",
+    "effective_cpu_count",
     "CacheEntry",
     "QueryCache",
     "SubgraphQueryIndex",

@@ -1,0 +1,461 @@
+"""Batched (and optionally parallel) query execution.
+
+The sequential engine processes one query at a time: extract features,
+filter, prune with the iGQ components, verify, maintain the cache.  Under
+load two of those stages dominate and neither needs to be sequential:
+
+* **verification** — the surviving candidates of one query are independent
+  isomorphism tests, so :class:`BatchExecutor` fans them out to a
+  :mod:`concurrent.futures` worker pool (processes by default — the tests
+  are pure-Python CPU work);
+* **feature extraction** — real workloads repeat query fragments heavily
+  (that is the premise of the paper), so extraction is memoised across the
+  batch: a repeated query is canonicalised and hashed once.
+
+Everything stateful — the iGQ component lookups, cache hits, window
+maintenance, replacement metadata — stays strictly sequential and in-order.
+As a consequence the executor is *deterministic*: for any worker count the
+answers, the per-query accounting and the engine's cache state after the
+batch are identical to the plain sequential loop, which is what the test
+suite asserts and what lets every future performance PR be gated on the
+sequential path as ground truth.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import time
+from collections.abc import Hashable, Iterable, Iterator
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..features.extractor import GraphFeatures
+from ..graphs.graph import LabeledGraph
+from ..isomorphism.verifier import Verifier
+from ..methods.base import QueryResult, SubgraphQueryMethod
+from .engine import IGQ, IGQQueryResult
+
+__all__ = [
+    "BACKENDS",
+    "BatchStats",
+    "FeatureMemo",
+    "BatchExecutor",
+    "default_num_workers",
+    "effective_cpu_count",
+    "graph_signature",
+]
+
+#: accepted ``backend`` values; ``"auto"`` resolves to ``"process"`` when
+#: more than one worker is requested *and* the machine can actually run them
+#: (see :func:`effective_cpu_count`), and to ``"sequential"`` otherwise
+BACKENDS = ("auto", "sequential", "thread", "process")
+
+
+def _cgroup_cpu_quota() -> int | None:
+    """CPU limit from a cgroup-v2 quota (``docker --cpus=N``), if any."""
+    try:
+        with open("/sys/fs/cgroup/cpu.max", encoding="ascii") as handle:
+            quota, _, period = handle.read().partition(" ")
+        if quota.strip() == "max":
+            return None
+        return max(1, int(int(quota) / int(period)))
+    except (OSError, ValueError):
+        return None
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process may actually use.
+
+    Honours both the scheduler affinity mask and (on cgroup-v2 systems) a
+    CPU quota — a ``--cpus=1`` container on an 8-core host reports 1, so
+    the ``auto`` backend does not spawn a pool the kernel would serialise.
+    """
+    count = os.cpu_count() or 1
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            count = len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    quota = _cgroup_cpu_quota()
+    if quota is not None:
+        count = min(count, quota)
+    return count
+
+#: below this many surviving candidates a parallel round-trip costs more
+#: than it saves, so the executor verifies in-process
+_MIN_PARALLEL_CANDIDATES = 4
+
+
+def graph_signature(graph: LabeledGraph) -> tuple:
+    """A hashable, exact signature of a labeled graph.
+
+    Two graphs with the same vertex ids, labels and edges share the
+    signature; workload generators emit repeated queries as structural
+    copies, which is precisely what the batch feature memo needs to catch.
+    ``repr`` keys keep mixed-type vertex ids sortable.
+    """
+    vertices = tuple(
+        sorted(((vertex, graph.label(vertex)) for vertex in graph.vertices()), key=repr)
+    )
+    edges = tuple(
+        sorted((tuple(sorted(edge, key=repr)) for edge in graph.edges()), key=repr)
+    )
+    return vertices, edges
+
+
+@dataclass
+class BatchStats:
+    """Counters accumulated by one :class:`BatchExecutor`."""
+
+    queries: int = 0
+    feature_memo_hits: int = 0
+    feature_memo_misses: int = 0
+    parallel_verifications: int = 0
+    sequential_verifications: int = 0
+    chunks_dispatched: int = 0
+
+
+class FeatureMemo:
+    """Batch-wide memo of extracted query features.
+
+    Keyed by the exact graph signature, so repeated query fragments are
+    canonicalised and feature-hashed once per batch instead of once per
+    occurrence.
+    """
+
+    def __init__(self, extractor) -> None:
+        self._extractor = extractor
+        self._features: dict[tuple, GraphFeatures] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def extract(self, query: LabeledGraph) -> GraphFeatures:
+        """Return (possibly memoised) features of ``query``."""
+        key = graph_signature(query)
+        features = self._features.get(key)
+        if features is None:
+            features = self._extractor.extract(query)
+            self._features[key] = features
+            self.misses += 1
+        else:
+            self.hits += 1
+        return features
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+
+# ----------------------------------------------------------------------
+# Worker-side verification
+# ----------------------------------------------------------------------
+#: per-process snapshot of the base method, installed by the pool initializer
+_WORKER_METHOD: SubgraphQueryMethod | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_METHOD
+    _WORKER_METHOD = pickle.loads(payload)
+
+
+def _run_verify_chunk(
+    method: SubgraphQueryMethod,
+    query: LabeledGraph,
+    candidate_ids: list,
+    supergraph: bool,
+    features: GraphFeatures | None,
+) -> tuple[list, int, int, list[float]]:
+    """Verify one chunk against ``method``.
+
+    Returns the answers plus the verifier-stat deltas the chunk produced:
+    positives, negatives and the per-test timing samples (whose length is
+    the test count and whose sum is the time delta — the parent folds them
+    back so the :class:`VerifierStats` invariants hold after a batch).
+    """
+    stats = method.verifier.stats
+    positives, negatives = stats.positives, stats.negatives
+    samples_before = len(stats.per_test_seconds)
+    if supergraph:
+        answers = method.verify_supergraph(query, candidate_ids, features=features)
+    else:
+        answers = method.verify(query, candidate_ids, features=features)
+    samples = stats.per_test_seconds[samples_before:]
+    # Keep the long-lived worker's sample list from growing without bound;
+    # the parent re-appends the samples to its own stats.
+    del stats.per_test_seconds[samples_before:]
+    return (
+        list(answers),
+        stats.positives - positives,
+        stats.negatives - negatives,
+        samples,
+    )
+
+
+def _process_verify_chunk(
+    query: LabeledGraph,
+    candidate_ids: list,
+    supergraph: bool,
+    features: GraphFeatures | None,
+) -> tuple[list, int, int, list[float]]:
+    """Process-pool entry point: verify against the worker's method snapshot."""
+    return _run_verify_chunk(_WORKER_METHOD, query, candidate_ids, supergraph, features)
+
+
+def _thread_verify_chunk(
+    method: SubgraphQueryMethod,
+    query: LabeledGraph,
+    candidate_ids: list,
+    supergraph: bool,
+    features: GraphFeatures | None,
+) -> tuple[list, int, int, list[float]]:
+    """Thread-pool entry point.
+
+    Threads share the index structures (read-only during querying) but each
+    call gets a private :class:`Verifier`, so the shared statistics counters
+    are never raced; the deltas are merged by the parent deterministically.
+    """
+    clone = copy.copy(method)
+    clone.verifier = Verifier(
+        algorithm=method.verifier.algorithm, induced=method.verifier.induced
+    )
+    return _run_verify_chunk(clone, query, candidate_ids, supergraph, features)
+
+
+@dataclass
+class _ChunkOutcome:
+    """Merged result of all verification chunks of one query."""
+
+    answers: set = field(default_factory=set)
+    positives: int = 0
+    negatives: int = 0
+    per_test_seconds: list[float] = field(default_factory=list)
+
+
+class BatchExecutor:
+    """Run batches of queries through an :class:`IGQ` engine or a bare method.
+
+    Parameters
+    ----------
+    target:
+        An :class:`~repro.core.engine.IGQ` engine (its configured mode
+        decides the query type) or a plain
+        :class:`~repro.methods.base.SubgraphQueryMethod`.
+    num_workers:
+        Worker-pool size for the verification stage.  ``1`` selects the
+        deterministic sequential fallback (no pool is ever created).
+    backend:
+        One of :data:`BACKENDS`.  ``"process"`` (the ``"auto"`` default for
+        ``num_workers > 1``) ships a pickled snapshot of the base method to
+        each worker once, then only candidate-id chunks per query.
+    chunk_size:
+        Candidates per worker task; defaults to an even split over the
+        workers.
+    memoize_features:
+        Memoise query feature extraction across the batch (on by default).
+    """
+
+    def __init__(
+        self,
+        target: IGQ | SubgraphQueryMethod,
+        num_workers: int = 1,
+        backend: str = "auto",
+        chunk_size: int | None = None,
+        memoize_features: bool = True,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.engine = target if isinstance(target, IGQ) else None
+        self.method = target.method if isinstance(target, IGQ) else target
+        if self.method.database is None:
+            raise RuntimeError("the target's dataset index must be built first")
+        self.num_workers = num_workers
+        if backend == "auto":
+            # A worker pool only pays off when the hardware can actually run
+            # the workers concurrently; on a single-CPU machine the batch
+            # still wins through feature memoisation, but verification stays
+            # in-process (an explicit backend overrides this).
+            backend = (
+                "process" if num_workers > 1 and effective_cpu_count() > 1 else "sequential"
+            )
+        self.backend = backend
+        self.chunk_size = chunk_size
+        self.stats = BatchStats()
+        self._memo = FeatureMemo(self.method.extractor) if memoize_features else None
+        self._pool: Executor | None = None
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            if self.backend == "process":
+                snapshot = self.method.verification_snapshot()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    initializer=_init_worker,
+                    initargs=(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL),),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_batch(self, queries: Iterable[LabeledGraph]) -> list[QueryResult]:
+        """Process ``queries`` in order and return one result per query."""
+        return list(self.run_stream(queries))
+
+    def run_stream(self, queries: Iterable[LabeledGraph]) -> Iterator[QueryResult]:
+        """Streaming form of :meth:`run_batch`: yield results as they finish.
+
+        Queries are planned, verified and folded into the cache strictly in
+        input order; only the isomorphism tests of each individual query run
+        on the pool.
+        """
+        for query in queries:
+            yield self._run_one(query)
+
+    def _run_one(self, query: LabeledGraph) -> QueryResult:
+        self.stats.queries += 1
+        # Extraction happens outside plan/filter, so its cost is folded back
+        # into filter_seconds below — the per-query accounting must match the
+        # sequential path, where extraction is part of the filtering stage.
+        start = time.perf_counter()
+        features = self._extract(query)
+        extract_seconds = time.perf_counter() - start
+        if self.engine is not None:
+            result = self._run_one_igq(query, features)
+        else:
+            result = self._run_one_plain(query, features)
+        result.filter_seconds += extract_seconds
+        return result
+
+    def _extract(self, query: LabeledGraph) -> GraphFeatures:
+        if self._memo is None:
+            return self.method.extract_query_features(query)
+        features = self._memo.extract(query)
+        self.stats.feature_memo_hits = self._memo.hits
+        self.stats.feature_memo_misses = self._memo.misses
+        return features
+
+    def _run_one_igq(self, query: LabeledGraph, features: GraphFeatures) -> IGQQueryResult:
+        engine = self.engine
+        supergraph = engine.mode == "supergraph"
+        plan = engine.plan_query(query, supergraph=supergraph, features=features)
+        candidate_ids = list(plan.remaining)
+        start = time.perf_counter()
+        if self._use_pool(candidate_ids):
+            verified = self._verify_parallel(query, candidate_ids, supergraph, features)
+        else:
+            self.stats.sequential_verifications += 1
+            verified = engine.verify_plan(plan)
+        verify_seconds = time.perf_counter() - start
+        return engine.complete_query(plan, verified, verify_seconds)
+
+    def _run_one_plain(self, query: LabeledGraph, features: GraphFeatures) -> QueryResult:
+        method = self.method
+        tests_before = method.verifier.stats.tests
+        start = time.perf_counter()
+        candidates = method.filter_candidates(query, features=features)
+        filter_seconds = time.perf_counter() - start
+        candidate_ids = list(candidates)
+        start = time.perf_counter()
+        if self._use_pool(candidate_ids):
+            answers = self._verify_parallel(
+                query, candidate_ids, supergraph=False, features=features
+            )
+        else:
+            self.stats.sequential_verifications += 1
+            answers = method.verify(query, candidates, features=features)
+        verify_seconds = time.perf_counter() - start
+        return QueryResult(
+            query_name=query.name,
+            answers=answers,
+            candidates=candidates,
+            num_isomorphism_tests=method.verifier.stats.tests - tests_before,
+            filter_seconds=filter_seconds,
+            verify_seconds=verify_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _use_pool(self, candidate_ids: list) -> bool:
+        return (
+            self.backend != "sequential"
+            and self.num_workers > 1
+            and len(candidate_ids) >= _MIN_PARALLEL_CANDIDATES
+        )
+
+    def _chunks(self, candidate_ids: list) -> list[list]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(candidate_ids) // self.num_workers))
+        return [
+            candidate_ids[start : start + size]
+            for start in range(0, len(candidate_ids), size)
+        ]
+
+    def _verify_parallel(
+        self,
+        query: LabeledGraph,
+        candidate_ids: list[Hashable],
+        supergraph: bool,
+        features: GraphFeatures | None,
+    ) -> set:
+        """Fan one query's candidate verification out to the worker pool.
+
+        The union of the chunk answers is order-independent, and the worker
+        statistics deltas are folded back into the parent verifier so the
+        per-query accounting matches the sequential path exactly.
+        """
+        pool = self._ensure_pool()
+        self.stats.parallel_verifications += 1
+        futures = []
+        for chunk in self._chunks(candidate_ids):
+            self.stats.chunks_dispatched += 1
+            if self.backend == "process":
+                futures.append(
+                    pool.submit(_process_verify_chunk, query, chunk, supergraph, features)
+                )
+            else:
+                futures.append(
+                    pool.submit(
+                        _thread_verify_chunk, self.method, query, chunk, supergraph, features
+                    )
+                )
+        outcome = _ChunkOutcome()
+        for future in futures:
+            answers, positives, negatives, per_test_seconds = future.result()
+            outcome.answers.update(answers)
+            outcome.positives += positives
+            outcome.negatives += negatives
+            outcome.per_test_seconds.extend(per_test_seconds)
+        stats = self.method.verifier.stats
+        stats.tests += len(outcome.per_test_seconds)
+        stats.positives += outcome.positives
+        stats.negatives += outcome.negatives
+        stats.total_seconds += sum(outcome.per_test_seconds)
+        stats.per_test_seconds.extend(outcome.per_test_seconds)
+        return outcome.answers
+
+
+def default_num_workers() -> int:
+    """A safe default worker count for this machine (at most 4)."""
+    return max(2, min(4, effective_cpu_count()))

@@ -24,6 +24,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..features.extractor import GraphFeatures
+from ..graphs.bitset import CandidateBitmap, GraphIdSpace
 from ..graphs.database import GraphDatabase
 from ..graphs.graph import LabeledGraph
 from ..isomorphism.cost import isomorphism_test_cost
@@ -35,7 +37,7 @@ from .isuper import SupergraphQueryIndex
 from .maintenance import IndexMaintenance, MaintenanceReport, PendingQuery
 from .replacement import ReplacementPolicy, create_policy
 
-__all__ = ["IGQQueryResult", "IGQ"]
+__all__ = ["IGQQueryResult", "QueryPlan", "IGQ"]
 
 SUBGRAPH_MODE = "subgraph"
 SUPERGRAPH_MODE = "supergraph"
@@ -62,6 +64,50 @@ class IGQQueryResult(QueryResult):
     verification_skipped: bool = False
     #: a maintenance step (window flush) ran after this query
     maintenance: MaintenanceReport | None = None
+
+
+@dataclass
+class QueryPlan:
+    """Everything the engine decides about a query *before* verification.
+
+    Produced by :meth:`IGQ.plan_query` (stages 1–2 of Figure 6: base-method
+    filtering plus the two iGQ components) and consumed by
+    :meth:`IGQ.complete_query` after the surviving candidates — exposed as
+    the set-like :attr:`remaining` — have been verified.  Splitting the
+    pipeline here is what lets the batch executor fan the verification stage
+    out to a worker pool while the planning and maintenance stages stay
+    strictly sequential (and therefore deterministic).
+
+    All candidate bookkeeping is held as integer bitmasks over the engine's
+    dataset-graph id space.
+    """
+
+    query: LabeledGraph
+    features: GraphFeatures
+    supergraph: bool
+    space: GraphIdSpace
+    candidate_mask: int
+    sub_hits: list
+    super_hits: list
+    exact_entry: CacheEntry | None
+    guaranteed_mask: int
+    pruned_mask: int
+    remaining_mask: int
+    skip_all: bool
+    cache_answer_mask: int
+    tests_before: int
+    filter_seconds: float
+    igq_seconds: float
+
+    @property
+    def remaining(self) -> CandidateBitmap:
+        """Candidates that still need an isomorphism test."""
+        return CandidateBitmap(self.space, self.remaining_mask)
+
+    @property
+    def candidates(self) -> CandidateBitmap:
+        """The base method's candidate set ``CS(g)``."""
+        return CandidateBitmap(self.space, self.candidate_mask)
 
 
 class IGQ:
@@ -115,6 +161,10 @@ class IGQ:
             cache_size=cache_size, window_size=window_size, policy=policy
         )
         self.database: GraphDatabase | None = None
+        self._id_space: GraphIdSpace | None = None
+        #: memoised ``entry_id -> answer bitmask`` for the cached entries;
+        #: invalidated whenever a window flush changes the cache contents
+        self._answer_masks: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Index construction
@@ -123,6 +173,7 @@ class IGQ:
         """Build the base method's dataset index; the query index starts empty."""
         self.method.build_index(database)
         self.database = database
+        self._id_space = self.method.id_space
 
     def attach_prebuilt(self, database: GraphDatabase | None = None) -> None:
         """Use a base method whose dataset index has already been built.
@@ -132,9 +183,10 @@ class IGQ:
         """
         if database is None:
             database = self.method.database
-        if database is None:
+        if database is None or self.method.id_space is None:
             raise RuntimeError("the base method has no built index to attach")
         self.database = database
+        self._id_space = self.method.id_space
 
     # ------------------------------------------------------------------
     # Query processing
@@ -166,16 +218,42 @@ class IGQ:
 
     # ------------------------------------------------------------------
     def _process(self, query: LabeledGraph, supergraph: bool) -> IGQQueryResult:
+        plan = self.plan_query(query, supergraph=supergraph)
+
+        # Stage 3 — verification of the surviving candidates.
+        start = time.perf_counter()
+        verified = self.verify_plan(plan)
+        verify_seconds = time.perf_counter() - start
+
+        return self.complete_query(plan, verified, verify_seconds)
+
+    def plan_query(
+        self,
+        query: LabeledGraph,
+        supergraph: bool = False,
+        features: GraphFeatures | None = None,
+    ) -> QueryPlan:
+        """Run stages 1–2 (filtering and iGQ pruning) and return the plan.
+
+        ``features`` may carry the query's pre-extracted features (the batch
+        executor memoises extraction across repeated queries); when omitted
+        they are extracted here, exactly as the sequential path always did.
+        """
+        if self.database is None:
+            raise RuntimeError("IGQ.build_index() must be called before querying")
         method = self.method
+        space = self._id_space
         tests_before = method.verifier.stats.tests
 
         # Stage 1 — the base method's filtering (Figure 6, thread 1).
         start = time.perf_counter()
-        features = method.extract_query_features(query)
+        if features is None:
+            features = method.extract_query_features(query)
         if supergraph:
             candidates = method.filter_supergraph_candidates(query, features=features)
         else:
             candidates = method.filter_candidates(query, features=features)
+        candidate_mask = space.mask_of(candidates)
         filter_seconds = time.perf_counter() - start
 
         # Stage 2 — the two iGQ components (Figure 6, threads 2 and 3).
@@ -189,111 +267,128 @@ class IGQ:
         exact_entry = self._find_exact(query, sub_hits, super_hits)
 
         if supergraph:
-            guaranteed, pruned, remaining, skip_all = self._combine_supergraph(
-                candidates, sub_hits, super_hits
+            guaranteed, pruned, remaining, skip_all = self._combine(
+                candidate_mask, guaranteed_hits=super_hits, restricting_hits=sub_hits
             )
         else:
-            guaranteed, pruned, remaining, skip_all = self._combine_subgraph(
-                candidates, sub_hits, super_hits
+            guaranteed, pruned, remaining, skip_all = self._combine(
+                candidate_mask, guaranteed_hits=sub_hits, restricting_hits=super_hits
             )
 
         if exact_entry is not None:
-            answer_from_cache = set(exact_entry.answer)
-            remaining = set()
+            cache_answer_mask = self._answer_mask(exact_entry)
+            remaining = 0
             skip_all = True
         else:
-            answer_from_cache = set(guaranteed)
+            cache_answer_mask = guaranteed
 
-        self._credit_hits(query, candidates, sub_hits, super_hits, supergraph)
+        self._credit_hits(query, candidate_mask, sub_hits, super_hits, supergraph)
         igq_seconds = time.perf_counter() - start
 
-        # Stage 3 — verification of the surviving candidates.
-        start = time.perf_counter()
-        if supergraph:
-            verified = method.verify_supergraph(query, remaining, features=features)
-        else:
-            verified = method.verify(query, remaining, features=features)
-        verify_seconds = time.perf_counter() - start
-
-        answers = verified | answer_from_cache
-
-        # Stage 4 — window / metadata maintenance (§5.2).
-        report = self._record_query(query, features, answers)
-
-        return IGQQueryResult(
-            query_name=query.name,
-            answers=answers,
-            candidates=set(candidates),
-            num_isomorphism_tests=method.verifier.stats.tests - tests_before,
+        return QueryPlan(
+            query=query,
+            features=features,
+            supergraph=supergraph,
+            space=space,
+            candidate_mask=candidate_mask,
+            sub_hits=sub_hits,
+            super_hits=super_hits,
+            exact_entry=exact_entry,
+            guaranteed_mask=guaranteed,
+            pruned_mask=pruned,
+            remaining_mask=remaining,
+            skip_all=skip_all,
+            cache_answer_mask=cache_answer_mask,
+            tests_before=tests_before,
             filter_seconds=filter_seconds,
-            verify_seconds=verify_seconds,
             igq_seconds=igq_seconds,
-            guaranteed_answers=set(guaranteed),
-            pruned_candidates=set(pruned),
-            num_sub_hits=len(sub_hits),
-            num_super_hits=len(super_hits),
-            exact_hit=exact_entry is not None,
-            verification_skipped=skip_all or not remaining,
+        )
+
+    def verify_plan(self, plan: QueryPlan) -> set:
+        """Stage 3 — verify the plan's surviving candidates in-process."""
+        if plan.supergraph:
+            return self.method.verify_supergraph(
+                plan.query, plan.remaining, features=plan.features
+            )
+        return self.method.verify(plan.query, plan.remaining, features=plan.features)
+
+    def complete_query(
+        self, plan: QueryPlan, verified, verify_seconds: float
+    ) -> IGQQueryResult:
+        """Stage 4 — assemble the result and run window maintenance.
+
+        ``verified`` is the answer subset of ``plan.remaining`` (any iterable
+        of graph ids — a plain set from :meth:`verify_plan` or the merged
+        union of worker-pool chunks).
+        """
+        space = plan.space
+        answers = CandidateBitmap(
+            space, space.mask_of(verified) | plan.cache_answer_mask
+        )
+        report = self._record_query(plan.query, plan.features, answers)
+        return IGQQueryResult(
+            query_name=plan.query.name,
+            answers=answers,
+            candidates=CandidateBitmap(space, plan.candidate_mask),
+            num_isomorphism_tests=self.method.verifier.stats.tests - plan.tests_before,
+            filter_seconds=plan.filter_seconds,
+            verify_seconds=verify_seconds,
+            igq_seconds=plan.igq_seconds,
+            guaranteed_answers=CandidateBitmap(space, plan.guaranteed_mask),
+            pruned_candidates=CandidateBitmap(space, plan.pruned_mask),
+            num_sub_hits=len(plan.sub_hits),
+            num_super_hits=len(plan.super_hits),
+            exact_hit=plan.exact_entry is not None,
+            verification_skipped=plan.skip_all or not plan.remaining_mask,
             maintenance=report,
         )
 
     # ------------------------------------------------------------------
     # Candidate-set combination (formulae (3), (4), (5) and §4.4)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _combine_subgraph(
-        candidates: set, sub_hits: list[CacheEntry], super_hits: list[CacheEntry]
-    ) -> tuple[set, set, set, bool]:
-        """Apply the subgraph-query pruning rules.
+    def _answer_mask(self, entry: CacheEntry) -> int:
+        """Answer set of a cached entry as a bitmask (memoised per entry)."""
+        mask = self._answer_masks.get(entry.entry_id)
+        if mask is None:
+            mask = self._id_space.mask_of(entry.answer)
+            self._answer_masks[entry.entry_id] = mask
+        return mask
 
-        Returns ``(guaranteed answers, pruned candidates, remaining
-        candidates, skip_all)``.
+    def _combine(
+        self,
+        candidate_mask: int,
+        guaranteed_hits: list[CacheEntry],
+        restricting_hits: list[CacheEntry],
+    ) -> tuple[int, int, int, bool]:
+        """Apply the pruning rules to a candidate bitmask.
+
+        For subgraph queries the guaranteeing component is ``Isub`` and the
+        restricting one ``Isuper``; for supergraph queries (§4.4) the roles
+        are mirrored.  Returns ``(guaranteed answers, pruned candidates,
+        remaining candidates, skip_all)``, all but the flag as bitmasks.
         """
-        guaranteed: set = set()
-        for entry in sub_hits:
-            guaranteed |= entry.answer
-        remaining = set(candidates) - guaranteed
+        guaranteed = 0
+        for entry in guaranteed_hits:
+            guaranteed |= self._answer_mask(entry)
+        remaining = candidate_mask & ~guaranteed
 
         skip_all = False
-        pruned_by_super: set = set()
-        if super_hits:
-            if any(not entry.answer for entry in super_hits):
-                # §4.3 optimal case 2: a contained previous query had no
-                # answers, so nothing can contain the new query either.
-                pruned_by_super = set(remaining)
-                remaining = set()
+        pruned_by_restriction = 0
+        if restricting_hits:
+            if any(not entry.answer for entry in restricting_hits):
+                # §4.3 optimal case 2 (and its §4.4 mirror): a restricting
+                # previous query had no answers, so the new query cannot
+                # have any beyond the guaranteed ones either.
+                pruned_by_restriction = remaining
+                remaining = 0
                 skip_all = True
             else:
-                allowed = set.intersection(*(set(entry.answer) for entry in super_hits))
-                pruned_by_super = remaining - allowed
+                allowed = -1
+                for entry in restricting_hits:
+                    allowed &= self._answer_mask(entry)
+                pruned_by_restriction = remaining & ~allowed
                 remaining &= allowed
-        pruned = (set(candidates) & guaranteed) | pruned_by_super
-        return guaranteed, pruned, remaining, skip_all
-
-    @staticmethod
-    def _combine_supergraph(
-        candidates: set, sub_hits: list[CacheEntry], super_hits: list[CacheEntry]
-    ) -> tuple[set, set, set, bool]:
-        """Apply the supergraph-query pruning rules (§4.4, mirrored roles)."""
-        guaranteed: set = set()
-        for entry in super_hits:
-            guaranteed |= entry.answer
-        remaining = set(candidates) - guaranteed
-
-        skip_all = False
-        pruned_by_sub: set = set()
-        if sub_hits:
-            if any(not entry.answer for entry in sub_hits):
-                # Mirrored optimal case: a containing previous query had no
-                # answers, so the new (smaller) query cannot have any either.
-                pruned_by_sub = set(remaining)
-                remaining = set()
-                skip_all = True
-            else:
-                allowed = set.intersection(*(set(entry.answer) for entry in sub_hits))
-                pruned_by_sub = remaining - allowed
-                remaining &= allowed
-        pruned = (set(candidates) & guaranteed) | pruned_by_sub
+        pruned = (candidate_mask & guaranteed) | pruned_by_restriction
         return guaranteed, pruned, remaining, skip_all
 
     @staticmethod
@@ -313,18 +408,19 @@ class IGQ:
     def _credit_hits(
         self,
         query: LabeledGraph,
-        candidates: set,
+        candidate_mask: int,
         sub_hits: list[CacheEntry],
         super_hits: list[CacheEntry],
         supergraph: bool,
     ) -> None:
         """Update H, R and C for every cache entry that was hit."""
         num_labels = max(self.database.num_labels, 1)
+        space = self._id_space
         per_graph_cost: dict = {}
 
-        def cost_of(graph_ids: set) -> float:
+        def cost_of(mask: int) -> float:
             total = 0.0
-            for graph_id in graph_ids:
+            for graph_id in space.to_ids(mask):
                 cost = per_graph_cost.get(graph_id)
                 if cost is None:
                     target = self.database.get(graph_id)
@@ -344,14 +440,14 @@ class IGQ:
         guaranteed_hits = super_hits if supergraph else sub_hits
         restricting_hits = sub_hits if supergraph else super_hits
         for entry in guaranteed_hits:
-            removable = set(entry.answer) & set(candidates)
-            entry.record_hit(len(removable), cost_of(removable))
+            removable = self._answer_mask(entry) & candidate_mask
+            entry.record_hit(removable.bit_count(), cost_of(removable))
         for entry in restricting_hits:
-            removable = set(candidates) - set(entry.answer)
-            entry.record_hit(len(removable), cost_of(removable))
+            removable = candidate_mask & ~self._answer_mask(entry)
+            entry.record_hit(removable.bit_count(), cost_of(removable))
 
     def _record_query(
-        self, query: LabeledGraph, features, answers: set
+        self, query: LabeledGraph, features, answers
     ) -> MaintenanceReport | None:
         """Add the processed query to the window; flush it when full."""
         self.cache.note_query_processed()
@@ -365,7 +461,37 @@ class IGQ:
         )
         if not window_full:
             return None
-        return self.maintenance.flush(self.cache, self.isub, self.isuper)
+        report = self.maintenance.flush(self.cache, self.isub, self.isuper)
+        # The flush evicted and inserted entries; drop the memoised masks.
+        self._answer_masks.clear()
+        return report
+
+    # ------------------------------------------------------------------
+    # Batched execution
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        queries: list[LabeledGraph],
+        num_workers: int = 1,
+        backend: str = "auto",
+        chunk_size: int | None = None,
+    ) -> list[IGQQueryResult]:
+        """Process a batch of queries, optionally verifying in parallel.
+
+        With ``num_workers=1`` (the default) this is the deterministic
+        sequential path — exactly equivalent to calling :meth:`query` once
+        per query.  With more workers the verification stage of each query
+        is fanned out to a :mod:`concurrent.futures` pool; planning and
+        cache maintenance stay sequential, so answers, cache contents and
+        replacement metadata are identical to the sequential run.  See
+        :class:`repro.core.batch.BatchExecutor` for the streaming API.
+        """
+        from .batch import BatchExecutor
+
+        with BatchExecutor(
+            self, num_workers=num_workers, backend=backend, chunk_size=chunk_size
+        ) as executor:
+            return executor.run_batch(queries)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..features.extractor import GraphFeatures
 from ..features.trie import FeatureTrie
+from ..graphs.bitset import DensePositions
 from ..graphs.graph import LabeledGraph
 from ..isomorphism.verifier import Verifier
 from .cache import CacheEntry, QueryCache
@@ -34,6 +35,9 @@ class SubgraphQueryIndex:
         self.verifier = verifier if verifier is not None else Verifier()
         self._trie = FeatureTrie()
         self._entries: dict[int, CacheEntry] = {}
+        #: dense bit positions for candidate bitmasks (raw entry ids are
+        #: monotonic, so masks keyed by them would grow without bound)
+        self._slots = DensePositions()
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -41,6 +45,7 @@ class SubgraphQueryIndex:
     def add(self, entry: CacheEntry) -> None:
         """Index a cached query entry."""
         self._entries[entry.entry_id] = entry
+        self._slots.add(entry.entry_id)
         for key, count in entry.features.counts.items():
             self._trie.insert(key, entry.entry_id, count)
 
@@ -48,6 +53,7 @@ class SubgraphQueryIndex:
         """Remove a cached query entry from the index."""
         if entry_id in self._entries:
             del self._entries[entry_id]
+            self._slots.remove(entry_id)
             self._trie.remove_graph(entry_id)
 
     def rebuild(self, cache: QueryCache) -> None:
@@ -59,6 +65,7 @@ class SubgraphQueryIndex:
         """
         self._trie = FeatureTrie()
         self._entries = {}
+        self._slots.reset()
         for entry in cache.entries():
             self.add(entry)
 
@@ -78,19 +85,29 @@ class SubgraphQueryIndex:
         """
         if not self._entries:
             return []
-        candidate_ids: set | None = None
+        # Candidate bookkeeping as an integer bitmask over dense entry
+        # positions (insertion order within the current index generation,
+        # so iteration yields entries oldest-first — the same order the
+        # previous sorted-id traversal produced).
+        slots = self._slots
+        candidate_mask: int | None = None
         for key, required in features.counts.items():
             postings = self._trie.get(key)
-            matching = {
-                entry_id for entry_id, count in postings.items() if count >= required
-            }
-            candidate_ids = matching if candidate_ids is None else candidate_ids & matching
-            if not candidate_ids:
+            matching = 0
+            for entry_id, count in postings.items():
+                if count >= required:
+                    matching |= slots.bit(entry_id)
+            candidate_mask = (
+                matching if candidate_mask is None else candidate_mask & matching
+            )
+            if not candidate_mask:
                 return []
-        if candidate_ids is None:
-            candidate_ids = set(self._entries)
+        if candidate_mask is None:
+            candidate_mask = 0
+            for entry_id in self._entries:
+                candidate_mask |= slots.bit(entry_id)
         results = []
-        for entry_id in sorted(candidate_ids):
+        for entry_id in slots.keys_of(candidate_mask):
             entry = self._entries[entry_id]
             if entry.graph.num_vertices < query.num_vertices:
                 continue

@@ -24,6 +24,7 @@ from collections import Counter
 
 from ..features.extractor import GraphFeatures
 from ..features.trie import FeatureTrie
+from ..graphs.bitset import DensePositions
 from ..graphs.graph import LabeledGraph
 from ..isomorphism.verifier import Verifier
 from .cache import CacheEntry, QueryCache
@@ -40,6 +41,8 @@ class SupergraphQueryIndex:
         self._entries: dict[int, CacheEntry] = {}
         #: NF[g_i] — number of distinct features of each indexed query
         self._num_features: dict[int, int] = {}
+        #: dense bit positions for candidate bitmasks (see SubgraphQueryIndex)
+        self._slots = DensePositions()
 
     # ------------------------------------------------------------------
     # Maintenance (Algorithm 1)
@@ -48,6 +51,7 @@ class SupergraphQueryIndex:
         """Index a cached query entry (one iteration of Algorithm 1's loop)."""
         self._entries[entry.entry_id] = entry
         self._num_features[entry.entry_id] = entry.features.num_distinct
+        self._slots.add(entry.entry_id)
         for key, count in entry.features.counts.items():
             self._trie.insert(key, entry.entry_id, count)
 
@@ -56,6 +60,7 @@ class SupergraphQueryIndex:
         if entry_id in self._entries:
             del self._entries[entry_id]
             del self._num_features[entry_id]
+            self._slots.remove(entry_id)
             self._trie.remove_graph(entry_id)
 
     def rebuild(self, cache: QueryCache) -> None:
@@ -63,6 +68,7 @@ class SupergraphQueryIndex:
         self._trie = FeatureTrie()
         self._entries = {}
         self._num_features = {}
+        self._slots.reset()
         for entry in cache.entries():
             self.add(entry)
 
@@ -88,6 +94,13 @@ class SupergraphQueryIndex:
             if count == self._num_features[entry_id]
         ]
 
+    def candidate_mask(self, features: GraphFeatures) -> int:
+        """Bitmask (over dense entry positions) of :meth:`candidate_subgraphs`."""
+        mask = 0
+        for entry_id in self.candidate_subgraphs(features):
+            mask |= self._slots.bit(entry_id)
+        return mask
+
     def find_subgraphs(
         self, query: LabeledGraph, features: GraphFeatures
     ) -> list[CacheEntry]:
@@ -95,7 +108,7 @@ class SupergraphQueryIndex:
         if not self._entries:
             return []
         results = []
-        for entry_id in sorted(self.candidate_subgraphs(features)):
+        for entry_id in self._slots.keys_of(self.candidate_mask(features)):
             entry = self._entries[entry_id]
             if entry.graph.num_vertices > query.num_vertices:
                 continue

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from functools import lru_cache
 
+from ..core.batch import BatchExecutor
 from ..core.engine import IGQ
 from ..datasets.registry import dataset_spec, load_dataset
 from ..graphs.database import GraphDatabase
@@ -73,6 +74,14 @@ class ExperimentConfig:
     query_seed: int = 5
     enable_isub: bool = True
     enable_isuper: bool = True
+    #: worker-pool size for the verification stage of both streams
+    #: (1 = the deterministic sequential path)
+    num_workers: int = 1
+    #: batch-executor backend ("auto" | "sequential" | "thread" | "process")
+    batch_backend: str = "auto"
+    #: memoise feature extraction across each stream; off by default so the
+    #: measured baseline keeps the paper's per-occurrence extraction cost
+    memoize_features: bool = False
 
     # ------------------------------------------------------------------
     def resolved(self) -> "ExperimentConfig":
@@ -235,11 +244,28 @@ def run_base_stream(
     queries: tuple[LabeledGraph, ...],
     warmup: int,
     label: str = "base",
+    num_workers: int = 1,
+    backend: str = "auto",
+    memoize_features: bool = False,
 ) -> StreamMetrics:
-    """Run the plain method over the measured part of the stream."""
+    """Run the plain method over the measured part of the stream.
+
+    The stream is driven by a :class:`~repro.core.batch.BatchExecutor`;
+    with the default ``num_workers=1`` that is the deterministic sequential
+    path, with more workers the verification stage runs on a pool.
+    Feature memoisation is off by default so the baseline keeps the paper's
+    per-occurrence extraction cost on repeated-query workloads.
+    """
     metrics = StreamMetrics(label=label)
-    for query in queries[warmup:]:
-        metrics.add(method.query(query), query)
+    measured = queries[warmup:]
+    with BatchExecutor(
+        method,
+        num_workers=num_workers,
+        backend=backend,
+        memoize_features=memoize_features,
+    ) as executor:
+        for query, result in zip(measured, executor.run_stream(measured)):
+            metrics.add(result, query)
     return metrics
 
 
@@ -262,10 +288,16 @@ def run_igq_stream(
     engine.attach_prebuilt()
     metrics = StreamMetrics(label=label)
     warmup = config.window_size
-    for query in queries[:warmup]:
-        engine.query(query)
-    for query in queries[warmup:]:
-        metrics.add(engine.query(query), query)
+    with BatchExecutor(
+        engine,
+        num_workers=config.num_workers,
+        backend=config.batch_backend,
+        memoize_features=config.memoize_features,
+    ) as executor:
+        for _ in executor.run_stream(queries[:warmup]):
+            pass
+        for query, result in zip(queries[warmup:], executor.run_stream(queries[warmup:])):
+            metrics.add(result, query)
     return metrics, engine
 
 
@@ -276,7 +308,13 @@ def run_speedup_experiment(config: ExperimentConfig) -> SpeedupOutcome:
     method = get_method(config)
     queries = get_queries(config)
     base = run_base_stream(
-        method, queries, warmup=config.window_size, label=f"{config.method}"
+        method,
+        queries,
+        warmup=config.window_size,
+        label=f"{config.method}",
+        num_workers=config.num_workers,
+        backend=config.batch_backend,
+        memoize_features=config.memoize_features,
     )
     igq_metrics, engine = run_igq_stream(
         method, queries, config, label=f"igq_{config.method}"

@@ -1,5 +1,6 @@
 """Graph substrate: labeled graphs, traversal, statistics and I/O."""
 
+from .bitset import CandidateBitmap, GraphIdSpace, iter_bits
 from .database import GraphDatabase
 from .graph import GraphError, LabeledGraph
 from .io import (
@@ -26,9 +27,12 @@ from .traversal import (
 )
 
 __all__ = [
+    "CandidateBitmap",
     "GraphDatabase",
     "GraphError",
+    "GraphIdSpace",
     "LabeledGraph",
+    "iter_bits",
     "DatasetStatistics",
     "summarize_dataset",
     "bfs_distances",

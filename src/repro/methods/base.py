@@ -20,17 +20,41 @@ least as often.
 
 from __future__ import annotations
 
+import copy
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass, field
 
 from ..features.extractor import FeatureExtractor, GraphFeatures
+from ..graphs.bitset import CandidateBitmap, GraphIdSpace
 from ..graphs.database import GraphDatabase
 from ..graphs.graph import LabeledGraph
 from ..isomorphism.verifier import Verifier
 
-__all__ = ["QueryResult", "SubgraphQueryMethod"]
+__all__ = ["QueryResult", "SubgraphQueryMethod", "dominance_candidate_mask"]
+
+
+def dominance_candidate_mask(trie, features: GraphFeatures, space: GraphIdSpace) -> CandidateBitmap:
+    """Occurrence-count dominance filter over a feature trie, as a bitmap.
+
+    A graph survives only if it contains every feature of ``features`` at
+    least as often (the published GGSX/Grapes filtering condition).  A query
+    with no features matches every graph.
+    """
+    mask: int | None = None
+    for key, required in features.counts.items():
+        postings = trie.get(key)
+        matching = 0
+        for graph_id, count in postings.items():
+            if count >= required:
+                matching |= space.bit(graph_id)
+        mask = matching if mask is None else mask & matching
+        if not mask:
+            return CandidateBitmap(space, 0)
+    if mask is None:
+        mask = space.full_mask
+    return CandidateBitmap(space, mask)
 
 
 @dataclass
@@ -82,6 +106,9 @@ class SubgraphQueryMethod(ABC):
         self.extractor = extractor
         self.verifier = verifier if verifier is not None else Verifier()
         self.database: GraphDatabase | None = None
+        #: bit-position assignment for the dataset-graph ids; all candidate
+        #: sets produced by this method are bitmaps over this space
+        self.id_space: GraphIdSpace | None = None
         self._graph_features: dict[Hashable, GraphFeatures] = {}
 
     # ------------------------------------------------------------------
@@ -90,6 +117,7 @@ class SubgraphQueryMethod(ABC):
     def build_index(self, database: GraphDatabase) -> None:
         """Index every graph of ``database``."""
         self.database = database
+        self.id_space = GraphIdSpace(database.ids())
         self._graph_features = {}
         if not self.needs_graph_features:
             return
@@ -144,7 +172,7 @@ class SubgraphQueryMethod(ABC):
                 graph_id: self.extractor.extract(graph)
                 for graph_id, graph in self.database.items()
             }
-        candidates: set = set()
+        mask = 0
         for graph_id, graph_features in self._graph_features.items():
             graph = self.database.get(graph_id)
             if graph.num_vertices > query.num_vertices:
@@ -152,8 +180,8 @@ class SubgraphQueryMethod(ABC):
             if graph.num_edges > query.num_edges:
                 continue
             if features.covers_counts_of(graph_features):
-                candidates.add(graph_id)
-        return candidates
+                mask |= self.id_space.bit(graph_id)
+        return CandidateBitmap(self.id_space, mask)
 
     # ------------------------------------------------------------------
     # Verification stage
@@ -195,12 +223,19 @@ class SubgraphQueryMethod(ABC):
     # ------------------------------------------------------------------
     # End-to-end query processing
     # ------------------------------------------------------------------
-    def query(self, query: LabeledGraph) -> QueryResult:
-        """Answer a subgraph query: all dataset graphs containing ``query``."""
+    def query(
+        self, query: LabeledGraph, features: GraphFeatures | None = None
+    ) -> QueryResult:
+        """Answer a subgraph query: all dataset graphs containing ``query``.
+
+        ``features`` may carry pre-extracted query features (the batch
+        executor memoises extraction across repeated queries).
+        """
         self._require_index()
         tests_before = self.verifier.stats.tests
         start = time.perf_counter()
-        features = self.extract_query_features(query)
+        if features is None:
+            features = self.extract_query_features(query)
         candidates = self.filter_candidates(query, features=features)
         filter_seconds = time.perf_counter() - start
         start = time.perf_counter()
@@ -215,12 +250,15 @@ class SubgraphQueryMethod(ABC):
             verify_seconds=verify_seconds,
         )
 
-    def supergraph_query(self, query: LabeledGraph) -> QueryResult:
+    def supergraph_query(
+        self, query: LabeledGraph, features: GraphFeatures | None = None
+    ) -> QueryResult:
         """Answer a supergraph query: all dataset graphs contained in ``query``."""
         self._require_index()
         tests_before = self.verifier.stats.tests
         start = time.perf_counter()
-        features = self.extract_query_features(query)
+        if features is None:
+            features = self.extract_query_features(query)
         candidates = self.filter_supergraph_candidates(query, features=features)
         filter_seconds = time.perf_counter() - start
         start = time.perf_counter()
@@ -234,6 +272,20 @@ class SubgraphQueryMethod(ABC):
             filter_seconds=filter_seconds,
             verify_seconds=verify_seconds,
         )
+
+    # ------------------------------------------------------------------
+    def verification_snapshot(self) -> "SubgraphQueryMethod":
+        """A shallow copy carrying only what the verification stage needs.
+
+        The batch executor ships this snapshot to its worker processes, so
+        the (potentially large) filtering index must not ride along.  The
+        base verification needs the dataset graphs and the verifier but not
+        the per-graph feature tables; methods whose ``verify`` consults
+        extra state override this (Grapes keeps its location tables).
+        """
+        clone = copy.copy(self)
+        clone._graph_features = {}
+        return clone
 
     # ------------------------------------------------------------------
     def graph_features(self, graph_id: Hashable) -> GraphFeatures:

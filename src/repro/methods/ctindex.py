@@ -18,6 +18,7 @@ import zlib
 from collections.abc import Hashable
 
 from ..features.extractor import FeatureExtractor, GraphFeatures
+from ..graphs.bitset import CandidateBitmap
 from ..graphs.graph import LabeledGraph
 from ..isomorphism.verifier import Verifier
 from .base import SubgraphQueryMethod
@@ -80,17 +81,24 @@ class CTIndexMethod(SubgraphQueryMethod):
     # ------------------------------------------------------------------
     def filter_candidates(
         self, query: LabeledGraph, features: GraphFeatures | None = None
-    ) -> set:
+    ) -> CandidateBitmap:
         """Graphs whose bitmap covers every bit of the query's bitmap."""
         self._require_index()
         if features is None:
             features = self.extract_query_features(query)
         query_bitmap = self.fingerprint(features)
-        return {
-            graph_id
-            for graph_id, bitmap in self._bitmaps.items()
-            if bitmap & query_bitmap == query_bitmap
-        }
+        space = self.id_space
+        mask = 0
+        for graph_id, bitmap in self._bitmaps.items():
+            if bitmap & query_bitmap == query_bitmap:
+                mask |= space.bit(graph_id)
+        return CandidateBitmap(space, mask)
+
+    def verification_snapshot(self) -> "CTIndexMethod":
+        """Worker-side copy without the fingerprint table."""
+        clone = super().verification_snapshot()
+        clone._bitmaps = {}
+        return clone
 
     def graph_bitmap(self, graph_id: Hashable) -> int:
         """The stored fingerprint of an indexed graph."""

@@ -17,9 +17,10 @@ from collections.abc import Hashable
 
 from ..features.extractor import FeatureExtractor, GraphFeatures
 from ..features.trie import FeatureTrie
+from ..graphs.bitset import CandidateBitmap
 from ..graphs.graph import LabeledGraph
 from ..isomorphism.verifier import Verifier
-from .base import SubgraphQueryMethod
+from .base import SubgraphQueryMethod, dominance_candidate_mask
 
 __all__ = ["GGSXMethod"]
 
@@ -56,24 +57,18 @@ class GGSXMethod(SubgraphQueryMethod):
     # ------------------------------------------------------------------
     def filter_candidates(
         self, query: LabeledGraph, features: GraphFeatures | None = None
-    ) -> set:
+    ) -> CandidateBitmap:
         """Graphs whose path-occurrence counts dominate the query's."""
         self._require_index()
         if features is None:
             features = self.extract_query_features(query)
-        candidates: set | None = None
-        for key, required in features.counts.items():
-            postings = self._trie.get(key)
-            matching = {
-                graph_id for graph_id, count in postings.items() if count >= required
-            }
-            candidates = matching if candidates is None else candidates & matching
-            if not candidates:
-                return set()
-        if candidates is None:
-            # A query with no features (empty graph): every graph qualifies.
-            return set(self.database.ids())
-        return candidates
+        return dominance_candidate_mask(self._trie, features, self.id_space)
+
+    def verification_snapshot(self) -> "GGSXMethod":
+        """Worker-side copy without the path trie (verify never reads it)."""
+        clone = super().verification_snapshot()
+        clone._trie = FeatureTrie()
+        return clone
 
     @property
     def trie(self) -> FeatureTrie:

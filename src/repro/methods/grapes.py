@@ -16,14 +16,16 @@ DESIGN.md, substitutions).
 
 from __future__ import annotations
 
+import copy
 from collections.abc import Hashable
 
 from ..features.extractor import FeatureExtractor, GraphFeatures
 from ..features.trie import FeatureTrie
+from ..graphs.bitset import CandidateBitmap
 from ..graphs.graph import LabeledGraph
 from ..graphs.traversal import connected_components, is_connected
 from ..isomorphism.verifier import Verifier
-from .base import SubgraphQueryMethod
+from .base import SubgraphQueryMethod, dominance_candidate_mask
 
 __all__ = ["GrapesMethod"]
 
@@ -71,23 +73,12 @@ class GrapesMethod(SubgraphQueryMethod):
     # ------------------------------------------------------------------
     def filter_candidates(
         self, query: LabeledGraph, features: GraphFeatures | None = None
-    ) -> set:
+    ) -> CandidateBitmap:
         """Same occurrence-count dominance filter as GGSX."""
         self._require_index()
         if features is None:
             features = self.extract_query_features(query)
-        candidates: set | None = None
-        for key, required in features.counts.items():
-            postings = self._trie.get(key)
-            matching = {
-                graph_id for graph_id, count in postings.items() if count >= required
-            }
-            candidates = matching if candidates is None else candidates & matching
-            if not candidates:
-                return set()
-        if candidates is None:
-            return set(self.database.ids())
-        return candidates
+        return dominance_candidate_mask(self._trie, features, self.id_space)
 
     # ------------------------------------------------------------------
     def candidate_regions(self, query_features: GraphFeatures, graph_id: Hashable) -> set:
@@ -140,6 +131,13 @@ class GrapesMethod(SubgraphQueryMethod):
             if matched:
                 answers.add(graph_id)
         return answers
+
+    def verification_snapshot(self) -> "GrapesMethod":
+        """Worker-side copy without the trie; the location tables stay —
+        component-restricted verification reads them."""
+        clone = copy.copy(self)
+        clone._trie = FeatureTrie()
+        return clone
 
     @property
     def trie(self) -> FeatureTrie:

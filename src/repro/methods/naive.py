@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Hashable
 
 from ..features.extractor import FeatureExtractor, GraphFeatures
+from ..graphs.bitset import CandidateBitmap
 from ..graphs.graph import LabeledGraph
 from ..isomorphism.verifier import Verifier
 from .base import SubgraphQueryMethod
@@ -48,12 +49,15 @@ class ScanMethod(SubgraphQueryMethod):
 
     def filter_candidates(
         self, query: LabeledGraph, features: GraphFeatures | None = None
-    ) -> set:
+    ) -> CandidateBitmap:
         self._require_index()
         # Only the trivially-safe size pre-filter is applied.
-        return {
-            graph_id
-            for graph_id, graph in self.database.items()
-            if graph.num_vertices >= query.num_vertices
-            and graph.num_edges >= query.num_edges
-        }
+        space = self.id_space
+        mask = 0
+        for graph_id, graph in self.database.items():
+            if (
+                graph.num_vertices >= query.num_vertices
+                and graph.num_edges >= query.num_edges
+            ):
+                mask |= space.bit(graph_id)
+        return CandidateBitmap(space, mask)

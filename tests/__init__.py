@@ -1,0 +1,2 @@
+"""Test package marker: makes ``from .conftest import ...`` resolve when
+pytest is invoked from the repository root (no ``PYTHONPATH`` juggling)."""

@@ -1,0 +1,194 @@
+"""Tests for the batched parallel query execution subsystem.
+
+The contract under test: for every backend and worker count the batch
+executor must be *indistinguishable* from the sequential engine loop —
+same answers, same per-query accounting, same cache and replacement state
+afterwards.  Parallelism is an implementation detail of the verification
+stage, never of the semantics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import IGQ, BatchExecutor
+from repro.core.batch import FeatureMemo, graph_signature
+from repro.graphs import GraphDatabase
+from repro.methods import GGSXMethod, GrapesMethod, ScanMethod
+
+from .conftest import make_cycle_graph, make_path_graph, random_labeled_graph
+
+
+def build_database(seed=29, count=16) -> GraphDatabase:
+    rng = random.Random(seed)
+    graphs = [
+        random_labeled_graph(rng, rng.randint(5, 10), 0.25, labels="ABC", name=f"g{i}")
+        for i in range(count)
+    ]
+    graphs.append(make_cycle_graph("ABC", name="tri"))
+    return GraphDatabase.from_graphs(graphs)
+
+
+def make_stream(seed=5, distinct=12, total=30):
+    """A stream with repeats: the memo and the exact-hit path get exercised."""
+    rng = random.Random(seed)
+    pool = [
+        random_labeled_graph(rng, rng.randint(2, 6), 0.3, labels="ABC", name=f"q{i}")
+        for i in range(distinct)
+    ]
+    return [
+        pool[rng.randrange(distinct)].copy(name=f"s{i}") for i in range(total)
+    ]
+
+
+def fresh_engine(database, method_factory=None) -> IGQ:
+    method = method_factory() if method_factory else GGSXMethod(max_path_length=3)
+    engine = IGQ(method, cache_size=8, window_size=3)
+    engine.build_index(database)
+    return engine
+
+
+def cache_state(engine: IGQ):
+    """Everything the replacement policy can see, in comparable form."""
+    return sorted(
+        (
+            entry.entry_id,
+            entry.graph.name,
+            frozenset(entry.answer),
+            entry.hits,
+            entry.removed,
+            round(entry.alleviated_cost, 9),
+            entry.added_at,
+        )
+        for entry in engine.cache.entries()
+    )
+
+
+class TestConstruction:
+    def test_rejects_unknown_backend(self):
+        engine = fresh_engine(build_database())
+        with pytest.raises(ValueError):
+            BatchExecutor(engine, backend="gpu")
+
+    def test_rejects_bad_worker_count(self):
+        engine = fresh_engine(build_database())
+        with pytest.raises(ValueError):
+            BatchExecutor(engine, num_workers=0)
+
+    def test_requires_built_index(self):
+        engine = IGQ(GGSXMethod(max_path_length=2))
+        with pytest.raises(RuntimeError):
+            BatchExecutor(engine)
+
+
+class TestSequentialEquivalence:
+    def test_empty_batch(self):
+        engine = fresh_engine(build_database())
+        assert engine.run_batch([]) == []
+
+    def test_single_query_batch_matches_query(self):
+        database = build_database()
+        query = make_path_graph("ABC", name="single")
+        loop_engine = fresh_engine(database)
+        expected = loop_engine.query(query)
+        batch_engine = fresh_engine(database)
+        [result] = batch_engine.run_batch([query])
+        assert set(result.answers) == set(expected.answers)
+        assert result.num_isomorphism_tests == expected.num_isomorphism_tests
+        assert cache_state(batch_engine) == cache_state(loop_engine)
+
+    @pytest.mark.parametrize("backend", ["sequential", "thread", "process"])
+    def test_backends_identical_to_sequential_loop(self, backend):
+        database = build_database()
+        stream = make_stream()
+        loop_engine = fresh_engine(database)
+        expected = [loop_engine.query(query) for query in stream]
+
+        batch_engine = fresh_engine(database)
+        results = batch_engine.run_batch(stream, num_workers=2, backend=backend)
+
+        assert len(results) == len(expected)
+        for got, want in zip(results, expected):
+            assert set(got.answers) == set(want.answers), got.query_name
+            assert set(got.candidates) == set(want.candidates)
+            assert got.num_isomorphism_tests == want.num_isomorphism_tests
+            assert got.exact_hit == want.exact_hit
+        assert cache_state(batch_engine) == cache_state(loop_engine)
+        assert len(batch_engine.cache) == len(loop_engine.cache)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_verifier_stats_invariant_after_parallel_batch(self, backend):
+        """Worker-side tests fold back into the parent verifier completely:
+        the per-test sample list stays in sync with the counters."""
+        database = build_database()
+        engine = fresh_engine(database)
+        engine.run_batch(make_stream(total=20), num_workers=2, backend=backend)
+        stats = engine.method.verifier.stats
+        assert stats.tests == len(stats.per_test_seconds)
+        assert stats.positives + stats.negatives == stats.tests
+        assert abs(sum(stats.per_test_seconds) - stats.total_seconds) < 1e-9
+
+    def test_grapes_parallel_verification_matches(self):
+        """Grapes verifies through location regions; the worker-side snapshot
+        must carry them."""
+        database = build_database()
+        stream = make_stream(total=15)
+        loop_engine = fresh_engine(database, lambda: GrapesMethod(max_path_length=3))
+        expected = [loop_engine.query(query) for query in stream]
+        batch_engine = fresh_engine(database, lambda: GrapesMethod(max_path_length=3))
+        results = batch_engine.run_batch(stream, num_workers=2, backend="process")
+        for got, want in zip(results, expected):
+            assert set(got.answers) == set(want.answers), got.query_name
+            assert got.num_isomorphism_tests == want.num_isomorphism_tests
+
+    def test_plain_method_batch(self):
+        """The executor also drives a bare method (no iGQ index)."""
+        database = build_database()
+        stream = make_stream(total=10)
+        method = ScanMethod()
+        method.build_index(database)
+        expected = [method.query(query) for query in stream]
+        with BatchExecutor(method, num_workers=2, backend="thread") as executor:
+            results = executor.run_batch(stream)
+        for got, want in zip(results, expected):
+            assert set(got.answers) == set(want.answers)
+            assert set(got.candidates) == set(want.candidates)
+
+
+class TestStreaming:
+    def test_run_stream_yields_in_order(self):
+        database = build_database()
+        stream = make_stream(total=8)
+        engine = fresh_engine(database)
+        with BatchExecutor(engine) as executor:
+            names = [result.query_name for result in executor.run_stream(stream)]
+        assert names == [query.name for query in stream]
+
+
+class TestFeatureMemo:
+    def test_signature_detects_structural_copies(self):
+        a = make_path_graph("ABC", name="one")
+        b = make_path_graph("ABC", name="two")
+        c = make_path_graph("ACB", name="three")
+        assert graph_signature(a) == graph_signature(b)
+        assert graph_signature(a) != graph_signature(c)
+
+    def test_memo_hits_on_repeats(self):
+        method = GGSXMethod(max_path_length=3)
+        memo = FeatureMemo(method.extractor)
+        query = make_path_graph("ABCA")
+        first = memo.extract(query)
+        second = memo.extract(query.copy(name="again"))
+        assert first is second
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_executor_counts_memo_hits(self):
+        database = build_database()
+        stream = make_stream(distinct=4, total=12)
+        engine = fresh_engine(database)
+        with BatchExecutor(engine) as executor:
+            executor.run_batch(stream)
+            assert executor.stats.feature_memo_hits >= 8
+            assert executor.stats.feature_memo_misses <= 4

@@ -1,0 +1,88 @@
+"""Unit tests for the integer-bitmask candidate sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.bitset import CandidateBitmap, GraphIdSpace, iter_bits
+
+
+@pytest.fixture
+def space() -> GraphIdSpace:
+    return GraphIdSpace(["g0", "g1", "g2", "g3", "g4"])
+
+
+class TestIterBits:
+    def test_empty_mask(self):
+        assert list(iter_bits(0)) == []
+
+    def test_ascending_positions(self):
+        assert list(iter_bits(0b101101)) == [0, 2, 3, 5]
+
+    def test_large_positions(self):
+        mask = (1 << 1000) | (1 << 3)
+        assert list(iter_bits(mask)) == [3, 1000]
+
+
+class TestGraphIdSpace:
+    def test_positions_follow_insertion_order(self, space):
+        assert space.position("g0") == 0
+        assert space.position("g4") == 4
+        assert space.id_at(2) == "g2"
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            GraphIdSpace(["a", "b", "a"])
+
+    def test_mask_round_trip(self, space):
+        mask = space.mask_of(["g1", "g3"])
+        assert mask == 0b01010
+        assert space.to_ids(mask) == ["g1", "g3"]
+
+    def test_full_mask(self, space):
+        assert space.to_ids(space.full_mask) == ["g0", "g1", "g2", "g3", "g4"]
+
+    def test_mask_of_same_space_bitmap_is_identity(self, space):
+        bitmap = CandidateBitmap(space, 0b101)
+        assert space.mask_of(bitmap) == 0b101
+
+
+class TestCandidateBitmap:
+    def test_set_protocol(self, space):
+        bitmap = CandidateBitmap.from_ids(space, ["g0", "g2"])
+        assert len(bitmap) == 2
+        assert "g0" in bitmap and "g2" in bitmap
+        assert "g1" not in bitmap
+        assert "unknown" not in bitmap
+        assert sorted(bitmap) == ["g0", "g2"]
+        assert bool(bitmap)
+        assert not bool(CandidateBitmap(space, 0))
+
+    def test_equality_with_plain_sets_both_orders(self, space):
+        bitmap = CandidateBitmap.from_ids(space, ["g0", "g2"])
+        assert bitmap == {"g0", "g2"}
+        assert {"g0", "g2"} == bitmap
+        assert bitmap != {"g0"}
+
+    def test_same_space_algebra_uses_masks(self, space):
+        a = CandidateBitmap.from_ids(space, ["g0", "g1", "g2"])
+        b = CandidateBitmap.from_ids(space, ["g1", "g3"])
+        assert (a & b).mask == space.mask_of(["g1"])
+        assert (a | b).mask == space.mask_of(["g0", "g1", "g2", "g3"])
+        assert (a - b).mask == space.mask_of(["g0", "g2"])
+        assert (a ^ b).mask == space.mask_of(["g0", "g2", "g3"])
+        assert a.isdisjoint(CandidateBitmap(space, 0))
+
+    def test_mixed_operand_orders_with_sets(self, space):
+        bitmap = CandidateBitmap.from_ids(space, ["g0", "g1"])
+        assert set(bitmap & {"g1", "g4"}) == {"g1"}
+        assert set({"g1", "g4"} & bitmap) == {"g1"}
+        assert set({"g1", "g4"} - bitmap) == {"g4"}
+        assert set(bitmap | {"g4"}) == {"g0", "g1", "g4"}
+
+    def test_subset_relations(self, space):
+        small = CandidateBitmap.from_ids(space, ["g1"])
+        big = CandidateBitmap.from_ids(space, ["g0", "g1"])
+        assert small <= big
+        assert not big <= small
+        assert small <= {"g1", "g0"}

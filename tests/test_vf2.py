@@ -7,7 +7,6 @@ Correctness is checked on hand-built cases and, property-based, against the
 from __future__ import annotations
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 
 from repro.graphs import LabeledGraph
