@@ -1,0 +1,213 @@
+"""Benchmark: compiled (bitset VF2) verification vs the dict-based baseline.
+
+Two measurements over the same synthetic Zipf workload:
+
+1. **Verification stage** — each query is filtered once; its candidate set
+   is then verified twice against fresh verifiers: the PR-1 baseline
+   (``Verifier(compiled=False, precheck=False)`` — a dict-based
+   ``VF2Matcher`` per pair, no early-fail check) and the compiled fast path
+   (query plan compiled once, database-cached bitset targets, signature
+   pre-check).  Answers must be byte-identical; the run **fails** if they
+   diverge or if the speedup falls below the gate (default 1.5x).  This is
+   a pure-CPU comparison, so the gate holds on any machine.
+
+2. **Pipelined planner** — the full query stream is run through
+   ``IGQ.run_batch`` with the worker pool, once with ``pipeline=False`` and
+   once with ``pipeline=True``.  Answers and the engine's cache state must
+   be identical (hard failure otherwise); the latency ratio is reported,
+   and is only meaningful on multi-core machines (on one CPU the pool —
+   and therefore the pipeline — never engages).
+
+Run directly::
+
+    python benchmarks/bench_verification.py --num-queries 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import IGQ, default_num_workers, effective_cpu_count  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.isomorphism import Verifier  # noqa: E402
+from repro.methods import create_method  # noqa: E402
+from repro.workloads.generator import QueryGenerator, WorkloadSpec  # noqa: E402
+from repro.workloads.zipf import create_sampler  # noqa: E402
+
+
+def build_stream(database, num_queries: int, distinct: int, alpha: float, seed: int):
+    spec = WorkloadSpec(
+        name="zipf-zipf",
+        graph_distribution="zipf",
+        node_distribution="zipf",
+        alpha=alpha,
+        seed=seed,
+    )
+    pool = QueryGenerator(database, spec).generate(distinct)
+    rng = random.Random(seed + 1)
+    sampler = create_sampler("zipf", len(pool), alpha=alpha)
+    return [pool[sampler.sample(rng)] for _ in range(num_queries)]
+
+
+def build_method(database, method_name: str, verifier: Verifier):
+    if method_name in ("ggsx", "grapes"):
+        method = create_method(method_name, max_path_length=3, verifier=verifier)
+    else:
+        method = create_method(method_name, verifier=verifier)
+    method.build_index(database)
+    return method
+
+
+def bench_verification_stage(database, stream, method_name: str) -> dict:
+    """Verify every query's candidate set through both verifier paths."""
+    baseline_method = build_method(
+        database, method_name, Verifier(compiled=False, precheck=False)
+    )
+    compiled_method = build_method(database, method_name, Verifier())
+    database.precompile()
+
+    baseline_seconds = 0.0
+    compiled_seconds = 0.0
+    identical = True
+    tests = 0
+    for query in stream:
+        candidates = list(baseline_method.filter_candidates(query))
+        tests += len(candidates)
+
+        start = time.perf_counter()
+        baseline_answers = baseline_method.verify(query, candidates)
+        baseline_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        compiled_answers = compiled_method.verify(query, candidates)
+        compiled_seconds += time.perf_counter() - start
+
+        if sorted(map(repr, baseline_answers)) != sorted(map(repr, compiled_answers)):
+            identical = False
+    return {
+        "verification_tests": tests,
+        "baseline_verify_seconds": round(baseline_seconds, 4),
+        "compiled_verify_seconds": round(compiled_seconds, 4),
+        "verification_speedup": round(baseline_seconds / max(compiled_seconds, 1e-9), 3),
+        "verification_answers_identical": identical,
+    }
+
+
+def cache_state(engine: IGQ):
+    return sorted(
+        (
+            entry.entry_id,
+            entry.graph.name,
+            tuple(sorted(map(repr, entry.answer))),
+            entry.hits,
+            entry.removed,
+            round(entry.alleviated_cost, 9),
+            entry.added_at,
+        )
+        for entry in engine.cache.entries()
+    )
+
+
+def bench_pipelined_planner(database, stream, method_name: str, args) -> dict:
+    """End-to-end batch latency with and without the pipelined planner."""
+    workers = args.workers if args.workers else default_num_workers()
+    runs = {}
+    for pipeline in (False, True):
+        method = build_method(database, method_name, Verifier())
+        engine = IGQ(method, cache_size=args.cache_size, window_size=args.window_size)
+        engine.attach_prebuilt()
+        start = time.perf_counter()
+        results = engine.run_batch(
+            stream, num_workers=workers, backend=args.backend, pipeline=pipeline
+        )
+        runs[pipeline] = (
+            time.perf_counter() - start,
+            [tuple(sorted(map(repr, result.answers))) for result in results],
+            cache_state(engine),
+        )
+    off_seconds, off_answers, off_state = runs[False]
+    on_seconds, on_answers, on_state = runs[True]
+    return {
+        "workers": workers,
+        "backend": args.backend,
+        "batch_seconds_pipeline_off": round(off_seconds, 4),
+        "batch_seconds_pipeline_on": round(on_seconds, 4),
+        "pipeline_speedup": round(off_seconds / max(on_seconds, 1e-9), 3),
+        "pipeline_answers_identical": on_answers == off_answers,
+        "pipeline_cache_state_identical": on_state == off_state,
+    }
+
+
+def run_benchmark(args) -> dict:
+    database = load_dataset(args.dataset, scale=args.scale)
+    stream = build_stream(database, args.num_queries, args.distinct, args.alpha, args.seed)
+    result = {
+        "dataset": args.dataset,
+        "method": args.method,
+        "num_queries": len(stream),
+        "distinct_queries": args.distinct,
+        "alpha": args.alpha,
+        "effective_cpus": effective_cpu_count(),
+        "min_speedup_gate": args.min_speedup,
+    }
+    result.update(bench_verification_stage(database, stream, args.method))
+    result.update(bench_pipelined_planner(database, stream, args.method, args))
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--dataset", default="synthetic")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--method", default="ggsx")
+    parser.add_argument("--num-queries", type=int, default=120)
+    parser.add_argument("--distinct", type=int, default=40)
+    parser.add_argument("--alpha", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--cache-size", type=int, default=40)
+    parser.add_argument("--window-size", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=0, help="0 = auto-pick")
+    parser.add_argument("--backend", default="auto", help="auto|sequential|thread|process")
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--output", default=None, help="write the JSON result here too")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    failed = False
+    if not result["verification_answers_identical"]:
+        print("FAIL: compiled verification answers diverge from baseline", file=sys.stderr)
+        failed = True
+    if result["verification_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: compiled verification speedup {result['verification_speedup']}x "
+            f"is below the {args.min_speedup}x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    if not result["pipeline_answers_identical"] or not result["pipeline_cache_state_identical"]:
+        print("FAIL: pipelined planner diverges from the non-pipelined run", file=sys.stderr)
+        failed = True
+    if result["pipeline_speedup"] < 1.0 and result["effective_cpus"] > 1:
+        print(
+            f"note: pipelining did not reduce batch latency on this run "
+            f"({result['pipeline_speedup']}x on {result['effective_cpus']} CPUs)",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

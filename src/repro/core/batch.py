@@ -10,11 +10,20 @@ load two of those stages dominate and neither needs to be sequential:
   are pure-Python CPU work);
 * **feature extraction** — real workloads repeat query fragments heavily
   (that is the premise of the paper), so extraction is memoised across the
-  batch: a repeated query is canonicalised and hashed once.
+  batch: a repeated query is canonicalised and hashed once, and the memo is
+  keyed by an exact *canonical form*, so isomorphic (relabeled) repeats hit
+  it too;
+* **planning** — while query *i*'s candidates verify on the pool, the
+  executor already plans query *i+1* (base-method filtering plus the two iGQ
+  component lookups).  Planning's only state mutation — the §5.1 metadata
+  credit for hit cache entries — is deferred until query *i* has completed,
+  and a speculative plan is discarded and redone whenever completing query
+  *i* flushed the query window (the one event that can change what planning
+  would have seen), so the overlap is invisible to the engine's semantics.
 
-Everything stateful — the iGQ component lookups, cache hits, window
-maintenance, replacement metadata — stays strictly sequential and in-order.
-As a consequence the executor is *deterministic*: for any worker count the
+Everything stateful — cache hits, window maintenance, replacement metadata —
+is still applied strictly in input order.  As a consequence the executor is
+*deterministic*: for any worker count, with or without pipelining, the
 answers, the per-query accounting and the engine's cache state after the
 batch are identical to the plain sequential loop, which is what the test
 suite asserts and what lets every future performance PR be gated on the
@@ -31,11 +40,12 @@ from collections.abc import Hashable, Iterable, Iterator
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from ..features.canonical import canonical_graph_key, exact_graph_signature
 from ..features.extractor import GraphFeatures
 from ..graphs.graph import LabeledGraph
 from ..isomorphism.verifier import Verifier
 from ..methods.base import QueryResult, SubgraphQueryMethod
-from .engine import IGQ, IGQQueryResult
+from .engine import IGQ, IGQQueryResult, QueryPlan
 
 __all__ = [
     "BACKENDS",
@@ -94,15 +104,10 @@ def graph_signature(graph: LabeledGraph) -> tuple:
     Two graphs with the same vertex ids, labels and edges share the
     signature; workload generators emit repeated queries as structural
     copies, which is precisely what the batch feature memo needs to catch.
-    ``repr`` keys keep mixed-type vertex ids sortable.
+    Delegates to :func:`repro.features.canonical.exact_graph_signature`
+    (kept as an alias here because it predates the canonical-key work).
     """
-    vertices = tuple(
-        sorted(((vertex, graph.label(vertex)) for vertex in graph.vertices()), key=repr)
-    )
-    edges = tuple(
-        sorted((tuple(sorted(edge, key=repr)) for edge in graph.edges()), key=repr)
-    )
-    return vertices, edges
+    return exact_graph_signature(graph)
 
 
 @dataclass
@@ -115,36 +120,56 @@ class BatchStats:
     parallel_verifications: int = 0
     sequential_verifications: int = 0
     chunks_dispatched: int = 0
+    #: queries whose planning overlapped the previous query's verification
+    pipelined_plans: int = 0
+    #: speculative plans discarded because the previous query's completion
+    #: flushed the query window (the plan is simply recomputed)
+    pipeline_replans: int = 0
 
 
 class FeatureMemo:
     """Batch-wide memo of extracted query features.
 
-    Keyed by the exact graph signature, so repeated query fragments are
-    canonicalised and feature-hashed once per batch instead of once per
-    occurrence.
+    Two-level lookup: the exact graph signature catches structural copies
+    (what workload generators emit for repeated queries) without paying for
+    canonicalisation, and the canonical-form key from
+    :func:`repro.features.canonical.canonical_graph_key` additionally
+    catches *isomorphic* (relabeled) repeats — feature counts are
+    isomorphism-invariant, so the memoised record is exact for every member
+    of the isomorphism class.
     """
 
     def __init__(self, extractor) -> None:
         self._extractor = extractor
         self._features: dict[tuple, GraphFeatures] = {}
+        self._canonical: dict[tuple, GraphFeatures] = {}
         self.hits = 0
         self.misses = 0
+        #: subset of ``hits`` found only through the canonical-form key
+        #: (an isomorphic relabeling of an earlier query, not an exact copy)
+        self.canonical_hits = 0
 
     def extract(self, query: LabeledGraph) -> GraphFeatures:
         """Return (possibly memoised) features of ``query``."""
         key = graph_signature(query)
         features = self._features.get(key)
         if features is None:
-            features = self._extractor.extract(query)
+            canonical_key = canonical_graph_key(query)
+            features = self._canonical.get(canonical_key)
+            if features is None:
+                features = self._extractor.extract(query)
+                self._canonical[canonical_key] = features
+                self.misses += 1
+            else:
+                self.hits += 1
+                self.canonical_hits += 1
             self._features[key] = features
-            self.misses += 1
         else:
             self.hits += 1
         return features
 
     def __len__(self) -> int:
-        return len(self._features)
+        return len(self._canonical)
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +257,52 @@ class _ChunkOutcome:
     per_test_seconds: list[float] = field(default_factory=list)
 
 
+@dataclass
+class _PendingVerification:
+    """One query whose verification has been dispatched but not completed."""
+
+    plan: QueryPlan
+    #: outstanding pool futures, or ``None`` when verified in-process
+    futures: list | None
+    #: in-process answers (``None`` while pool futures are outstanding)
+    verified: set | None
+    #: feature-extraction time to fold back into ``filter_seconds``
+    extract_seconds: float
+    #: verification wall time observed so far: the full in-process run, or
+    #: just the chunk submission for pool runs — :meth:`BatchExecutor._finish`
+    #: adds the collection wait, so time the main thread spends planning the
+    #: next query between the two is *not* billed to verification
+    verify_seconds: float
+
+
+@dataclass
+class _VerifierStatsMark:
+    """Rollback point for a :class:`VerifierStats` (speculative planning)."""
+
+    tests: int
+    positives: int
+    negatives: int
+    total_seconds: float
+    num_samples: int
+
+    @classmethod
+    def capture(cls, stats) -> "_VerifierStatsMark":
+        return cls(
+            tests=stats.tests,
+            positives=stats.positives,
+            negatives=stats.negatives,
+            total_seconds=stats.total_seconds,
+            num_samples=len(stats.per_test_seconds),
+        )
+
+    def rollback(self, stats) -> None:
+        stats.tests = self.tests
+        stats.positives = self.positives
+        stats.negatives = self.negatives
+        stats.total_seconds = self.total_seconds
+        del stats.per_test_seconds[self.num_samples:]
+
+
 class BatchExecutor:
     """Run batches of queries through an :class:`IGQ` engine or a bare method.
 
@@ -253,6 +324,11 @@ class BatchExecutor:
         workers.
     memoize_features:
         Memoise query feature extraction across the batch (on by default).
+    pipeline:
+        Plan the next query while the previous one verifies on the pool (on
+        by default; only takes effect when an iGQ engine is driven with a
+        worker pool).  Semantics are unchanged either way — the flag exists
+        so benchmarks and tests can isolate the latency contribution.
     """
 
     def __init__(
@@ -262,6 +338,7 @@ class BatchExecutor:
         backend: str = "auto",
         chunk_size: int | None = None,
         memoize_features: bool = True,
+        pipeline: bool = True,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
@@ -284,6 +361,7 @@ class BatchExecutor:
             )
         self.backend = backend
         self.chunk_size = chunk_size
+        self.pipeline = pipeline
         self.stats = BatchStats()
         self._memo = FeatureMemo(self.method.extractor) if memoize_features else None
         self._pool: Executor | None = None
@@ -294,7 +372,9 @@ class BatchExecutor:
     def _ensure_pool(self) -> Executor:
         if self._pool is None:
             if self.backend == "process":
-                snapshot = self.method.verification_snapshot()
+                snapshot = self.method.verification_snapshot(
+                    supergraph=self.engine is not None and self.engine.mode == "supergraph"
+                )
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.num_workers,
                     initializer=_init_worker,
@@ -326,12 +406,98 @@ class BatchExecutor:
     def run_stream(self, queries: Iterable[LabeledGraph]) -> Iterator[QueryResult]:
         """Streaming form of :meth:`run_batch`: yield results as they finish.
 
-        Queries are planned, verified and folded into the cache strictly in
-        input order; only the isomorphism tests of each individual query run
-        on the pool.
+        Queries are verified and folded into the cache strictly in input
+        order.  With an iGQ engine, a worker pool and ``pipeline=True``
+        (the default), query *i+1* is planned while query *i*'s candidates
+        verify on the pool; results still arrive in input order and the
+        engine ends the stream in exactly the sequential state.
         """
+        if self.engine is not None and self.pipeline and self._pool_enabled():
+            yield from self._run_stream_pipelined(queries)
+            return
         for query in queries:
             yield self._run_one(query)
+
+    def _pool_enabled(self) -> bool:
+        return self.backend != "sequential" and self.num_workers > 1
+
+    def _run_stream_pipelined(self, queries: Iterable[LabeledGraph]) -> Iterator[IGQQueryResult]:
+        """Pipelined plan/verify loop over an iGQ engine.
+
+        Sequential order per query is plan → verify → complete; the only
+        engine-state writes are the §5.1 hit credits (during planning) and
+        the window maintenance (during completion).  The pipelined loop
+        plans query *i+1* with the credits *deferred* while query *i*'s
+        futures are outstanding, completes query *i*, and only then applies
+        the credits — so every state write lands in exactly the sequential
+        position.  If completing query *i* flushed the window (the one
+        completion effect planning can observe), the speculative plan is
+        discarded: the component-lookup statistics are rolled back and the
+        query is re-planned against the post-flush index.
+        """
+        engine = self.engine
+        supergraph = engine.mode == "supergraph"
+        pending: _PendingVerification | None = None
+        for query in queries:
+            self.stats.queries += 1
+            start = time.perf_counter()
+            features = self._extract(query)
+            extract_seconds = time.perf_counter() - start
+            if pending is None:
+                plan = engine.plan_query(query, supergraph=supergraph, features=features)
+                pending = self._dispatch(plan, extract_seconds)
+                continue
+            mark = _VerifierStatsMark.capture(engine.igq_verifier.stats)
+            plan = engine.plan_query(
+                query, supergraph=supergraph, features=features, credit=False
+            )
+            self.stats.pipelined_plans += 1
+            result = self._finish(pending)
+            if result.maintenance is not None:
+                mark.rollback(engine.igq_verifier.stats)
+                self.stats.pipeline_replans += 1
+                plan = engine.plan_query(
+                    query, supergraph=supergraph, features=features, credit=False
+                )
+            engine.apply_plan_credits(plan)
+            # The speculative plan captured the verifier's test counter
+            # before query i's worker tests were folded back; re-anchor it
+            # so per-query test accounting matches the sequential loop.
+            plan.tests_before = engine.method.verifier.stats.tests
+            pending = self._dispatch(plan, extract_seconds)
+            yield result
+        if pending is not None:
+            yield self._finish(pending)
+
+    def _dispatch(self, plan: QueryPlan, extract_seconds: float) -> _PendingVerification:
+        """Start (or inline-run) the verification stage of a planned query."""
+        candidate_ids = list(plan.remaining)
+        start = time.perf_counter()
+        if self._use_pool(candidate_ids):
+            futures = self._submit_chunks(
+                plan.query, candidate_ids, plan.supergraph, plan.features
+            )
+            return _PendingVerification(
+                plan, futures, None, extract_seconds, time.perf_counter() - start
+            )
+        self.stats.sequential_verifications += 1
+        verified = self.engine.verify_plan(plan)
+        return _PendingVerification(
+            plan, None, verified, extract_seconds, time.perf_counter() - start
+        )
+
+    def _finish(self, pending: _PendingVerification) -> IGQQueryResult:
+        """Collect a dispatched query's answers and complete it in-engine."""
+        verify_seconds = pending.verify_seconds
+        if pending.futures is not None:
+            start = time.perf_counter()
+            verified = self._collect_chunks(pending.futures)
+            verify_seconds += time.perf_counter() - start
+        else:
+            verified = pending.verified
+        result = self.engine.complete_query(pending.plan, verified, verify_seconds)
+        result.filter_seconds += pending.extract_seconds
+        return result
 
     def _run_one(self, query: LabeledGraph) -> QueryResult:
         self.stats.queries += 1
@@ -425,6 +591,18 @@ class BatchExecutor:
         statistics deltas are folded back into the parent verifier so the
         per-query accounting matches the sequential path exactly.
         """
+        return self._collect_chunks(
+            self._submit_chunks(query, candidate_ids, supergraph, features)
+        )
+
+    def _submit_chunks(
+        self,
+        query: LabeledGraph,
+        candidate_ids: list[Hashable],
+        supergraph: bool,
+        features: GraphFeatures | None,
+    ) -> list:
+        """Submit one query's verification chunks; return the futures."""
         pool = self._ensure_pool()
         self.stats.parallel_verifications += 1
         futures = []
@@ -440,6 +618,10 @@ class BatchExecutor:
                         _thread_verify_chunk, self.method, query, chunk, supergraph, features
                     )
                 )
+        return futures
+
+    def _collect_chunks(self, futures: list) -> set:
+        """Merge chunk results and fold the worker stats into the parent."""
         outcome = _ChunkOutcome()
         for future in futures:
             answers, positives, negatives, per_test_seconds = future.result()

@@ -166,6 +166,17 @@ class IGQ:
         #: invalidated whenever a window flush changes the cache contents
         self._answer_masks: dict[int, int] = {}
 
+    @property
+    def igq_verifier(self) -> Verifier:
+        """The verifier used for query-vs-cached-query containment tests.
+
+        Kept separate from the base method's verifier so the paper's
+        "isomorphism tests against dataset graphs" metric is not polluted;
+        the pipelined executor snapshots its statistics around speculative
+        planning.
+        """
+        return self._igq_verifier
+
     # ------------------------------------------------------------------
     # Index construction
     # ------------------------------------------------------------------
@@ -232,12 +243,20 @@ class IGQ:
         query: LabeledGraph,
         supergraph: bool = False,
         features: GraphFeatures | None = None,
+        credit: bool = True,
     ) -> QueryPlan:
         """Run stages 1–2 (filtering and iGQ pruning) and return the plan.
 
         ``features`` may carry the query's pre-extracted features (the batch
         executor memoises extraction across repeated queries); when omitted
         they are extracted here, exactly as the sequential path always did.
+
+        ``credit=False`` defers the §5.1 metadata update (H/R/C of the hit
+        cache entries) to a later :meth:`apply_plan_credits` call.  The
+        pipelined batch executor plans query *i+1* speculatively while query
+        *i* still verifies; deferring the (only) state mutation of the
+        planning stage keeps the replacement metadata byte-identical to the
+        sequential order even when the speculative plan must be discarded.
         """
         if self.database is None:
             raise RuntimeError("IGQ.build_index() must be called before querying")
@@ -282,7 +301,8 @@ class IGQ:
         else:
             cache_answer_mask = guaranteed
 
-        self._credit_hits(query, candidate_mask, sub_hits, super_hits, supergraph)
+        if credit:
+            self._credit_hits(query, candidate_mask, sub_hits, super_hits, supergraph)
         igq_seconds = time.perf_counter() - start
 
         return QueryPlan(
@@ -302,6 +322,18 @@ class IGQ:
             tests_before=tests_before,
             filter_seconds=filter_seconds,
             igq_seconds=igq_seconds,
+        )
+
+    def apply_plan_credits(self, plan: QueryPlan) -> None:
+        """Apply the deferred §5.1 metadata update of a ``credit=False`` plan.
+
+        Must run after the *previous* query has been completed (its window
+        maintenance may have flushed the cache) and before this plan's own
+        :meth:`complete_query`, mirroring the position the update occupies in
+        the sequential order.
+        """
+        self._credit_hits(
+            plan.query, plan.candidate_mask, plan.sub_hits, plan.super_hits, plan.supergraph
         )
 
     def verify_plan(self, plan: QueryPlan) -> set:
@@ -475,21 +507,27 @@ class IGQ:
         num_workers: int = 1,
         backend: str = "auto",
         chunk_size: int | None = None,
+        pipeline: bool = True,
     ) -> list[IGQQueryResult]:
         """Process a batch of queries, optionally verifying in parallel.
 
         With ``num_workers=1`` (the default) this is the deterministic
         sequential path — exactly equivalent to calling :meth:`query` once
         per query.  With more workers the verification stage of each query
-        is fanned out to a :mod:`concurrent.futures` pool; planning and
-        cache maintenance stay sequential, so answers, cache contents and
-        replacement metadata are identical to the sequential run.  See
+        is fanned out to a :mod:`concurrent.futures` pool and (unless
+        ``pipeline=False``) the next query is planned while the pool works;
+        answers, cache contents and replacement metadata stay identical to
+        the sequential run either way.  See
         :class:`repro.core.batch.BatchExecutor` for the streaming API.
         """
         from .batch import BatchExecutor
 
         with BatchExecutor(
-            self, num_workers=num_workers, backend=backend, chunk_size=chunk_size
+            self,
+            num_workers=num_workers,
+            backend=backend,
+            chunk_size=chunk_size,
+            pipeline=pipeline,
         ) as executor:
             return executor.run_batch(queries)
 

@@ -2,8 +2,10 @@
 
 from .canonical import (
     canonical_cycle_code,
+    canonical_graph_key,
     canonical_path_code,
     canonical_tree_code,
+    exact_graph_signature,
     tree_code_of_subtree,
 )
 from .cycles import cycle_feature_codes, cycle_feature_counts, enumerate_simple_cycles
@@ -26,8 +28,10 @@ __all__ = [
     "TrieNode",
     "PathOccurrences",
     "canonical_cycle_code",
+    "canonical_graph_key",
     "canonical_path_code",
     "canonical_tree_code",
+    "exact_graph_signature",
     "tree_code_of_subtree",
     "cycle_feature_codes",
     "cycle_feature_counts",

@@ -16,12 +16,24 @@ __all__ = ["GraphDatabase"]
 
 
 class GraphDatabase:
-    """An ordered, id-addressable collection of dataset graphs."""
+    """An ordered, id-addressable collection of dataset graphs.
+
+    Besides the raw graphs the database caches their *compiled* verification
+    representations (:mod:`repro.isomorphism.compiled`): a
+    :meth:`compiled_target` per graph (bitset adjacency for the common
+    "dataset graph as target" role) and a :meth:`compiled_plan` per graph
+    (matching plan for the supergraph-query role, where dataset graphs play
+    the pattern).  Both are built lazily on first use and then shared by
+    every query that verifies against the graph; stored graphs are treated
+    as immutable once added.
+    """
 
     def __init__(self, name: str | None = None) -> None:
         self.name = name
         self._graphs: dict[Hashable, LabeledGraph] = {}
         self._labels: set = set()
+        self._compiled_targets: dict[Hashable, object] = {}
+        self._compiled_plans: dict[Hashable, object] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -45,6 +57,50 @@ class GraphDatabase:
             raise GraphError(f"duplicate graph id {graph_id!r}")
         self._graphs[graph_id] = graph
         self._labels.update(graph.labels())
+
+    # ------------------------------------------------------------------
+    # Compiled verification representations
+    # ------------------------------------------------------------------
+    def compiled_target(self, graph_id: Hashable):
+        """Compiled (bitset) target representation of one stored graph.
+
+        Built on first request and cached; the compilation cost is amortised
+        over every verification the graph ever participates in.  Under the
+        thread backend concurrent first requests may compile twice — both
+        results are identical and the last write wins, so the race is benign.
+        """
+        target = self._compiled_targets.get(graph_id)
+        if target is None:
+            from ..isomorphism.compiled import compile_target
+
+            target = compile_target(self.get(graph_id))
+            self._compiled_targets[graph_id] = target
+        return target
+
+    def compiled_plan(self, graph_id: Hashable):
+        """Compiled matching plan of one stored graph (supergraph queries,
+        where the dataset graph plays the pattern role)."""
+        plan = self._compiled_plans.get(graph_id)
+        if plan is None:
+            from ..isomorphism.compiled import compile_query_plan
+
+            plan = compile_query_plan(self.get(graph_id))
+            self._compiled_plans[graph_id] = plan
+        return plan
+
+    def precompile(self, targets: bool = True, plans: bool = False) -> None:
+        """Eagerly compile the chosen representation of every stored graph.
+
+        Called before a verification snapshot is pickled to worker processes
+        so the (one-time) compilation happens in the parent instead of once
+        per worker.  Subgraph verification consumes ``targets``; supergraph
+        verification (dataset graphs as patterns) consumes ``plans``.
+        """
+        for graph_id in self._graphs:
+            if targets:
+                self.compiled_target(graph_id)
+            if plans:
+                self.compiled_plan(graph_id)
 
     # ------------------------------------------------------------------
     def get(self, graph_id: Hashable) -> LabeledGraph:

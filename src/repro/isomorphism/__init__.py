@@ -1,5 +1,13 @@
 """Subgraph isomorphism algorithms, cost model and instrumented verifier."""
 
+from .compiled import (
+    CompiledQueryPlan,
+    CompiledTarget,
+    compile_query_plan,
+    compile_target,
+    compiled_has_embedding,
+    signature_prereject,
+)
 from .cost import (
     falling_factorial,
     graph_pair_cost,
@@ -17,6 +25,12 @@ from .vf2 import (
 )
 
 __all__ = [
+    "CompiledQueryPlan",
+    "CompiledTarget",
+    "compile_query_plan",
+    "compile_target",
+    "compiled_has_embedding",
+    "signature_prereject",
     "VF2Matcher",
     "UllmannMatcher",
     "Verifier",

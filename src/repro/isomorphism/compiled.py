@@ -1,0 +1,369 @@
+"""Compiled verification fast path: bitset-based VF2 kernel.
+
+The verification stage dominates filter-then-verify query processing, and the
+dict-based :class:`~repro.isomorphism.vf2.VF2Matcher` rebuilds all of its
+state — target label histogram, matching order, adjacency bookkeeping — for
+every ``(query, candidate graph)`` pair.  Almost all of that state is a
+property of *one* side of the pair:
+
+* :class:`CompiledTarget` captures everything the kernel needs about a
+  dataset graph — a dense vertex id space (reusing
+  :class:`~repro.graphs.bitset.GraphIdSpace`, generalised here from graph ids
+  to vertex ids), neighbour bitsets, label-partitioned neighbour bitsets,
+  degree arrays, the label histogram and per-label degree signatures.  It is
+  built once per graph and cached on the
+  :class:`~repro.graphs.database.GraphDatabase`, so the cost is amortised
+  over every query that ever verifies against the graph.
+* :class:`CompiledQueryPlan` captures everything that depends only on the
+  pattern — a connectivity-aware static matching order plus, per step, the
+  positions of the already-matched pattern neighbours and the look-ahead
+  neighbour count.  It is computed **once per query** and reused across all
+  candidates of the batch (and, for supergraph queries where the dataset
+  graphs play the pattern role, cached per dataset graph on the database).
+
+The kernel itself (:func:`compiled_has_embedding`) explores the same
+non-induced VF2 state space as :class:`VF2Matcher` — the test suite
+cross-validates the two against each other and against ``networkx`` — but
+its candidate generation is pure ``int`` bitmask intersection: the images of
+the matched pattern neighbours contribute their label-partitioned adjacency
+masks, the intersection is stripped of used vertices with one ``& ~used``,
+and feasibility reduces to an array lookup plus a ``bit_count``.
+
+:func:`signature_prereject` is the shared early-fail check (vertex/edge
+counts, label-histogram dominance, per-label degree-signature dominance);
+it rejects most non-matching candidates before any search starts and is
+also applied by the :class:`~repro.isomorphism.verifier.Verifier` on the
+non-compiled path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..graphs.bitset import VertexIdSpace
+from ..graphs.graph import LabeledGraph
+
+__all__ = [
+    "CompiledTarget",
+    "CompiledQueryPlan",
+    "compile_target",
+    "compile_query_plan",
+    "compiled_has_embedding",
+    "signature_prereject",
+    "degree_signature_dominates",
+]
+
+
+def degree_signature_dominates(
+    pattern_degrees: dict[Hashable, list[int]],
+    target_degrees: dict[Hashable, list[int]],
+) -> bool:
+    """Hall-style degree-signature check, per label.
+
+    A pattern vertex of label ``L`` and degree ``d`` can only map to a target
+    vertex of label ``L`` with degree ``>= d``; because that compatibility
+    relation is a threshold on sorted degrees, a label class admits an
+    injective assignment exactly when the k-th largest pattern degree is
+    bounded by the k-th largest target degree for every ``k``.  Both inputs
+    map labels to descending degree lists.
+    """
+    for label, p_degrees in pattern_degrees.items():
+        t_degrees = target_degrees.get(label)
+        if t_degrees is None or len(t_degrees) < len(p_degrees):
+            return False
+        for p_degree, t_degree in zip(p_degrees, t_degrees):
+            if p_degree > t_degree:
+                return False
+    return True
+
+
+def _label_degree_lists(graph: LabeledGraph) -> dict[Hashable, list[int]]:
+    """Per-label descending degree lists of ``graph``."""
+    by_label: dict[Hashable, list[int]] = {}
+    for vertex in graph.vertices():
+        by_label.setdefault(graph.label(vertex), []).append(graph.degree(vertex))
+    for degrees in by_label.values():
+        degrees.sort(reverse=True)
+    return by_label
+
+
+def signature_prereject(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """True if cheap invariants already prove ``pattern ⊄ target``.
+
+    Checks vertex/edge counts, label-histogram dominance and the per-label
+    degree-signature condition — all necessary for a (non-induced or
+    induced) subgraph isomorphism, so a ``True`` here is always safe to
+    report as "no match" without running a matcher.
+    """
+    if pattern.num_vertices > target.num_vertices:
+        return True
+    if pattern.num_edges > target.num_edges:
+        return True
+    target_hist = target.label_histogram()
+    for label, count in pattern.label_histogram().items():
+        if target_hist.get(label, 0) < count:
+            return True
+    return not degree_signature_dominates(
+        _label_degree_lists(pattern), _label_degree_lists(target)
+    )
+
+
+class CompiledTarget:
+    """Precompiled verification-side representation of one graph.
+
+    All per-vertex state lives in arrays indexed by a dense vertex id
+    (assigned by a frozen :class:`GraphIdSpace` over the vertex ids), and all
+    neighbourhood state is stored as ``int`` bitmasks over that id space.
+    The source graph is kept for fallback paths (Ullmann, induced semantics)
+    and must not be mutated after compilation.
+    """
+
+    __slots__ = (
+        "graph",
+        "space",
+        "num_vertices",
+        "num_edges",
+        "labels",
+        "degrees",
+        "adjacency_masks",
+        "label_adjacency_masks",
+        "label_masks",
+        "label_histogram",
+        "label_degrees",
+    )
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        self.graph = graph
+        space = VertexIdSpace(graph.vertices())
+        self.space = space
+        n = len(space)
+        self.num_vertices = n
+        self.num_edges = graph.num_edges
+        labels = [graph.label(space.id_at(index)) for index in range(n)]
+        self.labels = labels
+
+        adjacency = [0] * n
+        label_adjacency: list[dict[Hashable, int]] = [{} for _ in range(n)]
+        position = space.position
+        for u, v in graph.edges():
+            pu, pv = position(u), position(v)
+            bu, bv = 1 << pu, 1 << pv
+            adjacency[pu] |= bv
+            adjacency[pv] |= bu
+            lu, lv = labels[pu], labels[pv]
+            by_label = label_adjacency[pu]
+            by_label[lv] = by_label.get(lv, 0) | bv
+            by_label = label_adjacency[pv]
+            by_label[lu] = by_label.get(lu, 0) | bu
+        self.adjacency_masks = adjacency
+        self.label_adjacency_masks = label_adjacency
+        self.degrees = [mask.bit_count() for mask in adjacency]
+
+        label_masks: dict[Hashable, int] = {}
+        label_histogram: dict[Hashable, int] = {}
+        label_degrees: dict[Hashable, list[int]] = {}
+        for index, label in enumerate(labels):
+            label_masks[label] = label_masks.get(label, 0) | (1 << index)
+            label_histogram[label] = label_histogram.get(label, 0) + 1
+            label_degrees.setdefault(label, []).append(self.degrees[index])
+        for degrees in label_degrees.values():
+            degrees.sort(reverse=True)
+        self.label_masks = label_masks
+        self.label_histogram = label_histogram
+        self.label_degrees = label_degrees
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledTarget |V|={self.num_vertices} |E|={self.num_edges} "
+            f"labels={len(self.label_masks)}>"
+        )
+
+
+class CompiledQueryPlan:
+    """Precompiled pattern-side matching plan, reusable across candidates.
+
+    ``steps`` holds one ``(label, degree, anchors, lookahead)`` tuple per
+    matching-order position: ``anchors`` are the order positions of the
+    pattern vertex's already-matched neighbours (empty exactly when the order
+    restarts on a new connected component) and ``lookahead`` is the number of
+    its pattern neighbours matched *later*, which the kernel compares against
+    the candidate's count of unused target neighbours.
+
+    The order is computed from the pattern alone (highest degree first, then
+    grow connectivity-first preferring the most anchored frontier vertex), so
+    the plan of a dataset graph can be cached and reused across every
+    supergraph query it is ever verified against.
+    """
+
+    __slots__ = (
+        "pattern",
+        "num_vertices",
+        "num_edges",
+        "steps",
+        "label_histogram",
+        "label_degrees",
+    )
+
+    def __init__(self, pattern: LabeledGraph) -> None:
+        self.pattern = pattern
+        self.num_vertices = pattern.num_vertices
+        self.num_edges = pattern.num_edges
+        self.label_histogram = dict(pattern.label_histogram())
+        self.label_degrees = _label_degree_lists(pattern)
+
+        order = self._matching_order(pattern)
+        order_position = {vertex: index for index, vertex in enumerate(order)}
+        steps = []
+        for index, vertex in enumerate(order):
+            anchors = []
+            lookahead = 0
+            for neighbor in pattern.neighbors(vertex):
+                neighbor_position = order_position[neighbor]
+                if neighbor_position < index:
+                    anchors.append(neighbor_position)
+                else:
+                    lookahead += 1
+            steps.append(
+                (pattern.label(vertex), pattern.degree(vertex), tuple(anchors), lookahead)
+            )
+        self.steps = steps
+
+    @staticmethod
+    def _matching_order(pattern: LabeledGraph) -> list[Hashable]:
+        constraint = {
+            vertex: (-pattern.degree(vertex), repr(vertex))
+            for vertex in pattern.vertices()
+        }
+        order: list[Hashable] = []
+        placed: set = set()
+        remaining = set(pattern.vertices())
+        placed_neighbors = {vertex: 0 for vertex in remaining}
+
+        def place(vertex: Hashable) -> None:
+            order.append(vertex)
+            placed.add(vertex)
+            remaining.discard(vertex)
+            for neighbor in pattern.neighbors(vertex):
+                if neighbor not in placed:
+                    placed_neighbors[neighbor] += 1
+
+        while remaining:
+            start = min(remaining, key=constraint.__getitem__)
+            place(start)
+            frontier = {
+                neighbor
+                for neighbor in pattern.neighbors(start)
+                if neighbor not in placed
+            }
+            while frontier:
+                nxt = min(
+                    frontier,
+                    key=lambda v: (-placed_neighbors[v],) + constraint[v],
+                )
+                place(nxt)
+                frontier.discard(nxt)
+                frontier.update(
+                    neighbor
+                    for neighbor in pattern.neighbors(nxt)
+                    if neighbor not in placed
+                )
+        return order
+
+    def prereject(self, target: CompiledTarget) -> bool:
+        """Early-fail pre-check against a compiled target (no search)."""
+        if self.num_vertices > target.num_vertices:
+            return True
+        if self.num_edges > target.num_edges:
+            return True
+        target_hist = target.label_histogram
+        for label, count in self.label_histogram.items():
+            if target_hist.get(label, 0) < count:
+                return True
+        return not degree_signature_dominates(self.label_degrees, target.label_degrees)
+
+    def __repr__(self) -> str:
+        return f"<CompiledQueryPlan |V|={self.num_vertices} |E|={self.num_edges}>"
+
+
+def compile_target(graph: LabeledGraph) -> CompiledTarget:
+    """Compile ``graph`` into its verification-side representation."""
+    return CompiledTarget(graph)
+
+
+def compile_query_plan(pattern: LabeledGraph) -> CompiledQueryPlan:
+    """Compile ``pattern`` into a reusable matching plan."""
+    return CompiledQueryPlan(pattern)
+
+
+def compiled_has_embedding(plan: CompiledQueryPlan, target: CompiledTarget) -> bool:
+    """True if the plan's pattern has a (non-induced) embedding in ``target``.
+
+    Semantics are identical to ``VF2Matcher(pattern, target).has_match()``;
+    the search differs only in representation.  The kernel is recursion-free:
+    one explicit stack frame per matching-order position, each holding the
+    not-yet-tried candidate mask at that depth.
+    """
+    if plan.num_vertices == 0:
+        return True
+    if plan.prereject(target):
+        return False
+
+    steps = plan.steps
+    depth_count = len(steps)
+    label_masks = target.label_masks
+    label_adjacency = target.label_adjacency_masks
+    adjacency = target.adjacency_masks
+    degrees = target.degrees
+
+    #: dense target index chosen at each depth, and its single-bit mask
+    images = [0] * depth_count
+    image_bits = [0] * depth_count
+    #: candidates not yet tried at each depth
+    pending = [0] * depth_count
+    used = 0
+    depth = 0
+    advancing = True
+
+    while True:
+        label, min_degree, anchors, lookahead = steps[depth]
+        if advancing:
+            if anchors:
+                candidates = label_adjacency[images[anchors[0]]].get(label, 0)
+                for anchor in anchors[1:]:
+                    if not candidates:
+                        break
+                    candidates &= label_adjacency[images[anchor]].get(label, 0)
+            else:
+                candidates = label_masks.get(label, 0)
+            candidates &= ~used
+        else:
+            candidates = pending[depth]
+
+        advanced = False
+        while candidates:
+            low = candidates & -candidates
+            candidates ^= low
+            vertex = low.bit_length() - 1
+            if degrees[vertex] < min_degree:
+                continue
+            if lookahead and (adjacency[vertex] & ~used).bit_count() < lookahead:
+                continue
+            # Accept this candidate and descend.
+            pending[depth] = candidates
+            images[depth] = vertex
+            image_bits[depth] = low
+            used |= low
+            depth += 1
+            if depth == depth_count:
+                return True
+            advanced = True
+            break
+        if advanced:
+            advancing = True
+            continue
+        # Exhausted this depth: backtrack.
+        depth -= 1
+        if depth < 0:
+            return False
+        used ^= image_bits[depth]
+        advancing = False

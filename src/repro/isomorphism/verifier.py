@@ -1,13 +1,21 @@
 """Verification engine: instrumented wrapper around the matching algorithms.
 
 Every filter-then-verify method performs its verification stage through a
-:class:`Verifier`.  The wrapper serves two purposes:
+:class:`Verifier`.  The wrapper serves three purposes:
 
 * algorithm selection — VF2 (default, as in the paper's three base methods)
   or Ullmann (baseline for the verifier ablation benchmark);
+* fast-path dispatch — when the configured algorithm admits it (VF2,
+  non-induced), callers holding precompiled representations
+  (:mod:`repro.isomorphism.compiled`) verify through the bitset kernel via
+  :meth:`Verifier.is_subgraph_compiled`; the graph-based entry points keep
+  working unchanged and apply the same early-fail signature pre-check;
 * instrumentation — the number of subgraph isomorphism tests and the time
   spent in them is the primary metric of the paper's evaluation (Figures 1,
   7–11), so the verifier counts every call and accumulates wall-clock time.
+  A test resolved by the pre-check or the compiled kernel is still one test:
+  the counters only depend on how many candidate pairs were checked, never
+  on which internal path checked them.
 """
 
 from __future__ import annotations
@@ -16,6 +24,14 @@ import time
 from dataclasses import dataclass, field
 
 from ..graphs.graph import LabeledGraph
+from .compiled import (
+    CompiledQueryPlan,
+    CompiledTarget,
+    compile_query_plan,
+    compile_target,
+    compiled_has_embedding,
+    signature_prereject,
+)
 from .ullmann import UllmannMatcher
 from .vf2 import VF2Matcher
 
@@ -52,25 +68,91 @@ class Verifier:
         ``"vf2"`` (default) or ``"ullmann"``.
     induced:
         Use induced-subgraph semantics (not needed by the paper's setup).
+    compiled:
+        Allow the compiled bitset kernel when callers provide precompiled
+        representations (default).  ``False`` restores the pure dict-based
+        matcher on every path — the benchmark baseline.
+    precheck:
+        Apply the label-histogram / degree-signature early-fail check before
+        running a matcher on the graph-based path (default).  The check is a
+        necessary condition for a match, so answers never change; ``False``
+        reproduces the pre-optimisation behaviour exactly.
     """
 
-    def __init__(self, algorithm: str = "vf2", induced: bool = False) -> None:
+    def __init__(
+        self,
+        algorithm: str = "vf2",
+        induced: bool = False,
+        compiled: bool = True,
+        precheck: bool = True,
+    ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of {_ALGORITHMS}"
             )
         self.algorithm = algorithm
         self.induced = induced
+        self.compiled = compiled
+        self.precheck = precheck
         self.stats = VerifierStats()
 
+    # ------------------------------------------------------------------
+    # Compiled fast path
+    # ------------------------------------------------------------------
+    def supports_compiled(self) -> bool:
+        """True if this verifier may dispatch to the compiled kernel."""
+        return self.compiled and self.algorithm == "vf2" and not self.induced
+
+    def compile_pattern(self, pattern: LabeledGraph) -> CompiledQueryPlan | None:
+        """Compile ``pattern`` into a reusable plan, or ``None`` when the
+        configured algorithm requires the graph-based path."""
+        if not self.supports_compiled():
+            return None
+        return compile_query_plan(pattern)
+
+    def compile_target(self, target: LabeledGraph) -> CompiledTarget | None:
+        """Compile ``target`` for repeated verification, or ``None`` when the
+        configured algorithm requires the graph-based path."""
+        if not self.supports_compiled():
+            return None
+        return compile_target(target)
+
+    def is_subgraph_compiled(self, plan: CompiledQueryPlan, target: CompiledTarget) -> bool:
+        """Test ``plan.pattern ⊆ target.graph`` through the bitset kernel.
+
+        Counts and times exactly like :meth:`is_subgraph`; callers obtain
+        ``plan`` and ``target`` from :meth:`compile_pattern` /
+        :meth:`compile_target` or from the database caches.
+        """
+        start = time.perf_counter()
+        result = compiled_has_embedding(plan, target)
+        self._record(result, time.perf_counter() - start)
+        return result
+
+    # ------------------------------------------------------------------
+    # Graph-based path
+    # ------------------------------------------------------------------
     def is_subgraph(self, pattern: LabeledGraph, target: LabeledGraph) -> bool:
         """Test ``pattern ⊆ target``, updating the statistics."""
         start = time.perf_counter()
-        if self.algorithm == "vf2":
+        if self.precheck and signature_prereject(pattern, target):
+            # The signature check is a necessary condition for any (induced
+            # or non-induced) subgraph isomorphism: a reject here is a test
+            # whose matcher run is provably pointless.
+            result = False
+        elif self.algorithm == "vf2":
             result = VF2Matcher(pattern, target, induced=self.induced).has_match()
         else:
             result = UllmannMatcher(pattern, target).has_match()
-        elapsed = time.perf_counter() - start
+        self._record(result, time.perf_counter() - start)
+        return result
+
+    def is_supergraph(self, pattern: LabeledGraph, target: LabeledGraph) -> bool:
+        """Test ``pattern ⊇ target`` (i.e. ``target ⊆ pattern``)."""
+        return self.is_subgraph(target, pattern)
+
+    # ------------------------------------------------------------------
+    def _record(self, result: bool, elapsed: float) -> None:
         self.stats.tests += 1
         self.stats.total_seconds += elapsed
         self.stats.per_test_seconds.append(elapsed)
@@ -78,11 +160,6 @@ class Verifier:
             self.stats.positives += 1
         else:
             self.stats.negatives += 1
-        return result
-
-    def is_supergraph(self, pattern: LabeledGraph, target: LabeledGraph) -> bool:
-        """Test ``pattern ⊇ target`` (i.e. ``target ⊆ pattern``)."""
-        return self.is_subgraph(target, pattern)
 
     def reset(self) -> None:
         """Reset the accumulated statistics."""

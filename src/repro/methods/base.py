@@ -198,12 +198,26 @@ class SubgraphQueryMethod(ABC):
         methods using location information during verification — Grapes —
         can share the extraction done at filtering time; the base
         implementation ignores it.
+
+        When the verifier admits the compiled fast path the query is
+        compiled into a matching plan *once* and tested against the
+        database's cached :class:`CompiledTarget` of each candidate;
+        otherwise every candidate pair goes through the graph-based matcher
+        exactly as before.
         """
         self._require_index()
+        verifier = self.verifier
         answers = set()
-        for graph_id in candidate_ids:
-            if self.verifier.is_subgraph(query, self.database.get(graph_id)):
-                answers.add(graph_id)
+        plan = verifier.compile_pattern(query)
+        if plan is not None:
+            compiled_target = self.database.compiled_target
+            for graph_id in candidate_ids:
+                if verifier.is_subgraph_compiled(plan, compiled_target(graph_id)):
+                    answers.add(graph_id)
+        else:
+            for graph_id in candidate_ids:
+                if verifier.is_subgraph(query, self.database.get(graph_id)):
+                    answers.add(graph_id)
         return answers
 
     def verify_supergraph(
@@ -212,12 +226,27 @@ class SubgraphQueryMethod(ABC):
         candidate_ids: Iterable[Hashable],
         features: GraphFeatures | None = None,
     ) -> set:
-        """Verify candidates for a supergraph query (``G_i ⊆ query``)."""
+        """Verify candidates for a supergraph query (``G_i ⊆ query``).
+
+        Mirror image of :meth:`verify` on the compiled path: the query is
+        compiled once as the *target*, and each candidate contributes its
+        database-cached matching plan (dataset graphs play the pattern
+        role here, so their plans are reusable across every supergraph
+        query).
+        """
         self._require_index()
+        verifier = self.verifier
         answers = set()
-        for graph_id in candidate_ids:
-            if self.verifier.is_subgraph(self.database.get(graph_id), query):
-                answers.add(graph_id)
+        target = verifier.compile_target(query)
+        if target is not None:
+            compiled_plan = self.database.compiled_plan
+            for graph_id in candidate_ids:
+                if verifier.is_subgraph_compiled(compiled_plan(graph_id), target):
+                    answers.add(graph_id)
+        else:
+            for graph_id in candidate_ids:
+                if verifier.is_subgraph(self.database.get(graph_id), query):
+                    answers.add(graph_id)
         return answers
 
     # ------------------------------------------------------------------
@@ -274,7 +303,7 @@ class SubgraphQueryMethod(ABC):
         )
 
     # ------------------------------------------------------------------
-    def verification_snapshot(self) -> "SubgraphQueryMethod":
+    def verification_snapshot(self, supergraph: bool = False) -> "SubgraphQueryMethod":
         """A shallow copy carrying only what the verification stage needs.
 
         The batch executor ships this snapshot to its worker processes, so
@@ -282,7 +311,15 @@ class SubgraphQueryMethod(ABC):
         base verification needs the dataset graphs and the verifier but not
         the per-graph feature tables; methods whose ``verify`` consults
         extra state override this (Grapes keeps its location tables).
+
+        The compiled representation the configured query direction consumes
+        — bitset targets for subgraph queries, matching plans when
+        ``supergraph`` (dataset graphs play the pattern role there) — is
+        materialised first so the snapshot carries it: compilation then
+        happens once in the parent instead of once per worker process.
         """
+        if self.database is not None and self.verifier.supports_compiled():
+            self.database.precompile(targets=not supergraph, plans=supergraph)
         clone = copy.copy(self)
         clone._graph_features = {}
         return clone

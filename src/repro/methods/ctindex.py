@@ -94,9 +94,9 @@ class CTIndexMethod(SubgraphQueryMethod):
                 mask |= space.bit(graph_id)
         return CandidateBitmap(space, mask)
 
-    def verification_snapshot(self) -> "CTIndexMethod":
+    def verification_snapshot(self, supergraph: bool = False) -> "CTIndexMethod":
         """Worker-side copy without the fingerprint table."""
-        clone = super().verification_snapshot()
+        clone = super().verification_snapshot(supergraph=supergraph)
         clone._bitmaps = {}
         return clone
 

@@ -132,9 +132,14 @@ class GrapesMethod(SubgraphQueryMethod):
                 answers.add(graph_id)
         return answers
 
-    def verification_snapshot(self) -> "GrapesMethod":
+    def verification_snapshot(self, supergraph: bool = False) -> "GrapesMethod":
         """Worker-side copy without the trie; the location tables stay —
-        component-restricted verification reads them."""
+        component-restricted verification reads them.  Grapes' own (subgraph)
+        verification builds region subgraphs per pair and cannot reuse
+        compiled targets, but supergraph verification comes from the base
+        class, so its compiled plans are still precompiled."""
+        if supergraph and self.database is not None and self.verifier.supports_compiled():
+            self.database.precompile(targets=False, plans=True)
         clone = copy.copy(self)
         clone._trie = FeatureTrie()
         return clone

@@ -15,7 +15,7 @@ import pytest
 
 from repro.core import IGQ, BatchExecutor
 from repro.core.batch import FeatureMemo, graph_signature
-from repro.graphs import GraphDatabase
+from repro.graphs import GraphDatabase, LabeledGraph
 from repro.methods import GGSXMethod, GrapesMethod, ScanMethod
 
 from .conftest import make_cycle_graph, make_path_graph, random_labeled_graph
@@ -157,6 +157,82 @@ class TestSequentialEquivalence:
             assert set(got.candidates) == set(want.candidates)
 
 
+class TestPipelinedPlanner:
+    """The pipelined planner must be invisible: answers, accounting, cache
+    and replacement state — and even the containment-test statistics of the
+    iGQ verifier — identical to the sequential loop, including across window
+    flushes (which force speculative plans to be discarded and redone)."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pipelined_identical_to_sequential_loop(self, backend):
+        database = build_database()
+        stream = make_stream(total=40)
+        loop_engine = fresh_engine(database)
+        expected = [loop_engine.query(query) for query in stream]
+
+        engine = fresh_engine(database)
+        with BatchExecutor(engine, num_workers=2, backend=backend, pipeline=True) as executor:
+            results = executor.run_batch(stream)
+            # The small window (3) flushes repeatedly mid-batch, so the
+            # replan path must actually have been exercised.
+            assert executor.stats.pipelined_plans > 0
+            assert executor.stats.pipeline_replans > 0
+
+        for got, want in zip(results, expected):
+            assert set(got.answers) == set(want.answers), got.query_name
+            assert set(got.candidates) == set(want.candidates)
+            assert got.num_isomorphism_tests == want.num_isomorphism_tests
+            assert got.exact_hit == want.exact_hit
+            assert got.verification_skipped == want.verification_skipped
+        assert cache_state(engine) == cache_state(loop_engine)
+        got_stats = engine.igq_verifier.stats
+        want_stats = loop_engine.igq_verifier.stats
+        assert got_stats.tests == want_stats.tests
+        assert got_stats.positives == want_stats.positives
+        assert got_stats.negatives == want_stats.negatives
+        assert len(got_stats.per_test_seconds) == got_stats.tests
+
+    def test_pipeline_flag_off_matches_on(self):
+        database = build_database()
+        stream = make_stream(total=25)
+        engines = {}
+        for pipeline in (False, True):
+            engine = fresh_engine(database)
+            with BatchExecutor(
+                engine, num_workers=2, backend="thread", pipeline=pipeline
+            ) as executor:
+                engines[pipeline] = (engine, executor.run_batch(stream))
+        engine_off, results_off = engines[False]
+        engine_on, results_on = engines[True]
+        for got, want in zip(results_on, results_off):
+            assert set(got.answers) == set(want.answers)
+            assert got.num_isomorphism_tests == want.num_isomorphism_tests
+        assert cache_state(engine_on) == cache_state(engine_off)
+
+    def test_pipeline_inactive_without_pool(self):
+        """With one worker the stream takes the plain path; results and
+        state still match the sequential loop."""
+        database = build_database()
+        stream = make_stream(total=10)
+        loop_engine = fresh_engine(database)
+        expected = [loop_engine.query(query) for query in stream]
+        engine = fresh_engine(database)
+        with BatchExecutor(engine, num_workers=1, pipeline=True) as executor:
+            assert executor.stats.pipelined_plans == 0
+            results = executor.run_batch(stream)
+        for got, want in zip(results, expected):
+            assert set(got.answers) == set(want.answers)
+        assert cache_state(engine) == cache_state(loop_engine)
+
+    def test_pipelined_stream_yields_in_order(self):
+        database = build_database()
+        stream = make_stream(total=12)
+        engine = fresh_engine(database)
+        with BatchExecutor(engine, num_workers=2, backend="thread") as executor:
+            names = [result.query_name for result in executor.run_stream(stream)]
+        assert names == [query.name for query in stream]
+
+
 class TestStreaming:
     def test_run_stream_yields_in_order(self):
         database = build_database()
@@ -183,6 +259,31 @@ class TestFeatureMemo:
         second = memo.extract(query.copy(name="again"))
         assert first is second
         assert memo.hits == 1 and memo.misses == 1
+
+    def test_canonical_key_catches_isomorphic_relabelings(self):
+        """A relabeled (isomorphic, different vertex ids) repeat misses the
+        exact-signature level but hits the canonical level (ROADMAP item)."""
+        method = GGSXMethod(max_path_length=3)
+        memo = FeatureMemo(method.extractor)
+        query = make_path_graph("ABCA", name="orig")
+        twin = query.relabeled()
+        remapped = LabeledGraph(name="shifted")
+        for vertex in twin.vertices():
+            remapped.add_vertex(vertex + 100, twin.label(vertex))
+        for u, v in twin.edges():
+            remapped.add_edge(u + 100, v + 100)
+        assert graph_signature(query) != graph_signature(remapped)
+        first = memo.extract(query)
+        second = memo.extract(remapped)
+        assert first is second
+        assert memo.hits == 1 and memo.canonical_hits == 1 and memo.misses == 1
+
+    def test_canonical_twins_do_not_collide_with_distinct_graphs(self):
+        method = GGSXMethod(max_path_length=3)
+        memo = FeatureMemo(method.extractor)
+        memo.extract(make_path_graph("ABC"))
+        memo.extract(make_path_graph("ACB"))
+        assert memo.misses == 2 and memo.hits == 0
 
     def test_executor_counts_memo_hits(self):
         database = build_database()

@@ -1,0 +1,274 @@
+"""Tests for the compiled (bitset VF2) verification fast path.
+
+The contract: :func:`compiled_has_embedding` is observationally identical to
+``VF2Matcher.has_match`` — cross-validated property-style against the
+dict-based matcher and against ``networkx`` in both the subgraph (query as
+pattern) and supergraph (dataset graph as pattern) directions — and the
+early-fail signature pre-check never rejects a pair that actually matches.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import LabeledGraph
+from repro.isomorphism import (
+    CompiledQueryPlan,
+    CompiledTarget,
+    VF2Matcher,
+    Verifier,
+    compile_query_plan,
+    compile_target,
+    compiled_has_embedding,
+    signature_prereject,
+)
+from repro.methods import ScanMethod
+
+from .conftest import (
+    make_clique,
+    make_cycle_graph,
+    make_path_graph,
+    make_star_graph,
+    random_labeled_graph,
+)
+
+
+def compiled_is_subgraph(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    return compiled_has_embedding(compile_query_plan(pattern), compile_target(target))
+
+
+def to_networkx(graph: LabeledGraph) -> nx.Graph:
+    result = nx.Graph()
+    for vertex in graph.vertices():
+        result.add_node(vertex, label=graph.label(vertex))
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def networkx_is_subgraph(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    matcher = nx.algorithms.isomorphism.GraphMatcher(
+        to_networkx(target),
+        to_networkx(pattern),
+        node_match=lambda a, b: a["label"] == b["label"],
+    )
+    return matcher.subgraph_is_monomorphic()
+
+
+def random_pair(rng: random.Random) -> tuple[LabeledGraph, LabeledGraph]:
+    """A random (pattern, target) pair, sometimes disconnected."""
+    target = random_labeled_graph(
+        rng, rng.randint(1, 10), rng.random() * 0.6, connected=rng.random() < 0.7
+    )
+    pattern = random_labeled_graph(
+        rng, rng.randint(1, 6), rng.random() * 0.8, connected=rng.random() < 0.7
+    )
+    return pattern, target
+
+
+class TestKnownCases:
+    def test_path_in_cycle(self):
+        assert compiled_is_subgraph(make_path_graph("ABC"), make_cycle_graph("ABC"))
+
+    def test_cycle_not_in_path(self):
+        assert not compiled_is_subgraph(make_cycle_graph("ABC"), make_path_graph("ABC"))
+
+    def test_label_mismatch(self):
+        assert not compiled_is_subgraph(make_path_graph("AZ"), make_cycle_graph("ABC"))
+
+    def test_triangle_in_clique(self):
+        assert compiled_is_subgraph(make_cycle_graph("AAA"), make_clique("AAAA"))
+
+    def test_empty_pattern_matches_anything(self):
+        assert compiled_is_subgraph(LabeledGraph(), make_path_graph("AB"))
+        assert compiled_is_subgraph(LabeledGraph(), LabeledGraph())
+
+    def test_pattern_larger_than_target(self):
+        assert not compiled_is_subgraph(make_clique("AAAA"), make_cycle_graph("AAA"))
+
+    def test_star_needs_degree(self):
+        assert not compiled_is_subgraph(make_star_graph("A", "BBB"), make_path_graph("BAB"))
+        assert compiled_is_subgraph(make_star_graph("A", "BB"), make_path_graph("BAB"))
+
+    def test_disconnected_pattern(self):
+        pattern = LabeledGraph()
+        pattern.add_vertex(0, "A")
+        pattern.add_vertex(1, "B")
+        target = make_path_graph("ACB")
+        assert compiled_is_subgraph(pattern, target)
+        assert not compiled_is_subgraph(pattern, make_path_graph("AC"))
+
+    def test_monomorphism_not_induced(self):
+        # A path maps into a cycle of the same labels: extra target edges are
+        # allowed (non-induced semantics).
+        assert compiled_is_subgraph(make_path_graph("AAA"), make_cycle_graph("AAA"))
+
+
+class TestCrossValidation:
+    def test_matches_vf2_and_networkx_subgraph_direction(self):
+        rng = random.Random(171)
+        for _ in range(600):
+            pattern, target = random_pair(rng)
+            expected = VF2Matcher(pattern, target).has_match()
+            assert compiled_is_subgraph(pattern, target) == expected
+            assert networkx_is_subgraph(pattern, target) == expected
+
+    def test_matches_vf2_supergraph_direction(self):
+        """Supergraph queries run dataset graphs as patterns against one
+        compiled query target; validate that orientation explicitly."""
+        rng = random.Random(733)
+        for _ in range(200):
+            query = random_labeled_graph(rng, rng.randint(3, 10), 0.4)
+            compiled_query = compile_target(query)
+            dataset_graph = random_labeled_graph(rng, rng.randint(1, 6), 0.5)
+            plan = compile_query_plan(dataset_graph)
+            expected = VF2Matcher(dataset_graph, query).has_match()
+            assert compiled_has_embedding(plan, compiled_query) == expected
+
+    def test_plan_reuse_across_targets(self):
+        """One plan, many targets — reuse must not leak state between runs."""
+        rng = random.Random(909)
+        pattern = make_path_graph("ABA")
+        plan = compile_query_plan(pattern)
+        for _ in range(100):
+            target = random_labeled_graph(rng, rng.randint(1, 8), 0.4)
+            expected = VF2Matcher(pattern, target).has_match()
+            assert compiled_has_embedding(plan, compile_target(target)) == expected
+
+    def test_precheck_is_sound(self):
+        """A signature pre-reject must imply that no embedding exists."""
+        rng = random.Random(555)
+        rejected = 0
+        for _ in range(500):
+            pattern, target = random_pair(rng)
+            if signature_prereject(pattern, target):
+                rejected += 1
+                assert not VF2Matcher(pattern, target).has_match()
+        assert rejected > 0  # the check actually fires on this workload
+
+
+class TestCompiledRepresentations:
+    def test_target_structure(self):
+        graph = make_cycle_graph("ABA")
+        target = compile_target(graph)
+        assert isinstance(target, CompiledTarget)
+        assert target.num_vertices == 3 and target.num_edges == 3
+        # Label masks partition the vertex set.
+        combined = 0
+        for mask in target.label_masks.values():
+            assert combined & mask == 0
+            combined |= mask
+        assert combined == (1 << target.num_vertices) - 1
+        # Adjacency is symmetric and degree-consistent.
+        for index in range(target.num_vertices):
+            assert target.adjacency_masks[index].bit_count() == target.degrees[index]
+            for other in range(target.num_vertices):
+                assert bool(target.adjacency_masks[index] >> other & 1) == bool(
+                    target.adjacency_masks[other] >> index & 1
+                )
+
+    def test_plan_covers_every_vertex_once(self):
+        pattern = make_clique("ABCD")
+        plan = compile_query_plan(pattern)
+        assert isinstance(plan, CompiledQueryPlan)
+        assert len(plan.steps) == pattern.num_vertices
+        # Each step after the first (connected pattern) has anchors, and the
+        # anchor/lookahead counts add up to the vertex degree.
+        for index, (label, degree, anchors, lookahead) in enumerate(plan.steps):
+            if index:
+                assert anchors
+            assert len(anchors) + lookahead == degree
+
+
+class TestDatabaseCaching:
+    def test_compiled_target_is_cached(self, tiny_database):
+        first = tiny_database.compiled_target("g_tri")
+        assert tiny_database.compiled_target("g_tri") is first
+
+    def test_compiled_plan_is_cached(self, tiny_database):
+        first = tiny_database.compiled_plan("g_tri")
+        assert tiny_database.compiled_plan("g_tri") is first
+
+    def test_precompile_builds_all(self, tiny_database):
+        tiny_database.precompile()
+        assert all(
+            tiny_database.compiled_target(graph_id) is not None
+            for graph_id in tiny_database.ids()
+        )
+
+    def test_snapshot_carries_compiled_targets(self, tiny_database):
+        method = ScanMethod()
+        method.build_index(tiny_database)
+        snapshot = method.verification_snapshot()
+        payload = pickle.dumps(snapshot)
+        clone = pickle.loads(payload)
+        # The compiled cache travelled with the pickle: verification on the
+        # worker side finds every target prebuilt.
+        assert set(clone.database._compiled_targets) == set(tiny_database.ids())
+        assert clone.verify(make_path_graph("AB"), clone.database.ids()) == method.verify(
+            make_path_graph("AB"), tiny_database.ids()
+        )
+
+    def test_supergraph_snapshot_carries_compiled_plans(self, tiny_database):
+        """In supergraph mode the dataset graphs play the pattern role, so
+        the snapshot precompiles their matching plans, not bitset targets."""
+        method = ScanMethod()
+        method.build_index(tiny_database)
+        clone = pickle.loads(pickle.dumps(method.verification_snapshot(supergraph=True)))
+        assert set(clone.database._compiled_plans) == set(tiny_database.ids())
+        query = make_clique("ABCD")
+        assert clone.verify_supergraph(query, clone.database.ids()) == (
+            method.verify_supergraph(query, tiny_database.ids())
+        )
+
+
+class TestVerifierDispatch:
+    def test_compile_pattern_gated_by_configuration(self):
+        query = make_path_graph("AB")
+        assert Verifier().compile_pattern(query) is not None
+        assert Verifier(compiled=False).compile_pattern(query) is None
+        assert Verifier(algorithm="ullmann").compile_pattern(query) is None
+        assert Verifier(induced=True).compile_pattern(query) is None
+
+    def test_compiled_and_plain_paths_count_identically(self, tiny_database):
+        query = make_path_graph("ABC")
+        fast = Verifier()
+        plan = fast.compile_pattern(query)
+        slow = Verifier(compiled=False, precheck=False)
+        for graph_id in tiny_database.ids():
+            graph = tiny_database.get(graph_id)
+            assert fast.is_subgraph_compiled(plan, compile_target(graph)) == slow.is_subgraph(
+                query, graph
+            )
+        assert fast.stats.tests == slow.stats.tests == len(tiny_database)
+        assert fast.stats.positives == slow.stats.positives
+        assert fast.stats.negatives == slow.stats.negatives
+        assert len(fast.stats.per_test_seconds) == fast.stats.tests
+
+    def test_precheck_does_not_change_answers(self):
+        rng = random.Random(404)
+        with_precheck = Verifier(compiled=False, precheck=True)
+        without = Verifier(compiled=False, precheck=False)
+        for _ in range(300):
+            pattern, target = random_pair(rng)
+            assert with_precheck.is_subgraph(pattern, target) == without.is_subgraph(
+                pattern, target
+            )
+        assert with_precheck.stats.tests == without.stats.tests
+
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_method_verify_equivalent(self, tiny_database, compiled):
+        method = ScanMethod(verifier=Verifier(compiled=compiled))
+        method.build_index(tiny_database)
+        reference = ScanMethod(verifier=Verifier(compiled=False, precheck=False))
+        reference.build_index(tiny_database)
+        for query in (make_path_graph("AB"), make_cycle_graph("ABC"), make_clique("ABCD")):
+            assert method.verify(query, tiny_database.ids()) == reference.verify(
+                query, tiny_database.ids()
+            )
+            assert method.verify_supergraph(query, tiny_database.ids()) == (
+                reference.verify_supergraph(query, tiny_database.ids())
+            )
