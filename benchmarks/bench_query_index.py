@@ -1,0 +1,170 @@
+"""Benchmark: compiled query-index containment vs the dict-based baseline.
+
+The iGQ premise is that containment tests against *cached queries* are cheap
+relative to tests against dataset graphs — so the two component indexes
+(``Isub``/``Isuper``) must not pay per-pair matcher setup.  This benchmark
+measures exactly that layer on a cache-heavy Zipf stream:
+
+1. A pool of distinct queries is generated; the first ``--cache-size`` of
+   them populate a :class:`QueryCache` and two pairs of component indexes —
+   one compiled (cached graphs compiled into bitset targets/plans on
+   insertion, kernel dispatch per pair) and one dict-based
+   (``Verifier(compiled=False)`` — a fresh ``VF2Matcher`` per pair, the
+   pre-refactor behaviour).
+2. Every stream query runs ``Isub.find_supergraphs`` +
+   ``Isuper.find_subgraphs`` through both pairs; the per-call wall time is
+   accumulated separately and the hit lists must be identical.
+
+The run **fails** if the hit lists diverge anywhere or if the compiled
+speedup falls below the gate (default 1.3x).  Pure-CPU comparison, so the
+gate holds on any machine.
+
+Run directly::
+
+    python benchmarks/bench_query_index.py --num-queries 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import QueryCache, SubgraphQueryIndex, SupergraphQueryIndex  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.features import FeatureExtractor  # noqa: E402
+from repro.isomorphism import Verifier  # noqa: E402
+from repro.workloads.generator import QueryGenerator, WorkloadSpec  # noqa: E402
+from repro.workloads.zipf import create_sampler  # noqa: E402
+
+
+def build_pool(database, distinct: int, alpha: float, seed: int):
+    spec = WorkloadSpec(
+        name="zipf-zipf",
+        graph_distribution="zipf",
+        node_distribution="zipf",
+        alpha=alpha,
+        seed=seed,
+    )
+    return QueryGenerator(database, spec).generate(distinct)
+
+
+def build_indexes(cached, extractor, compiled: bool):
+    verifier = Verifier(compiled=compiled)
+    cache = QueryCache()
+    isub = SubgraphQueryIndex(verifier, compiled=compiled)
+    isuper = SupergraphQueryIndex(verifier, compiled=compiled)
+    for graph in cached:
+        entry = cache.add(graph, extractor.extract(graph), frozenset())
+        isub.add(entry)
+        isuper.add(entry)
+    return isub, isuper, verifier
+
+
+def run_benchmark(args) -> dict:
+    database = load_dataset(args.dataset, scale=args.scale)
+    extractor = FeatureExtractor(max_path_length=args.max_path_length)
+    pool = build_pool(database, args.distinct, args.alpha, args.seed)
+    cached = pool[: args.cache_size]
+    rng = random.Random(args.seed + 1)
+    sampler = create_sampler("zipf", len(pool), alpha=args.alpha)
+    stream = [pool[sampler.sample(rng)] for _ in range(args.num_queries)]
+    features = {id(query): extractor.extract(query) for query in pool}
+
+    compiled_isub, compiled_isuper, compiled_verifier = build_indexes(
+        cached, extractor, compiled=True
+    )
+    dict_isub, dict_isuper, dict_verifier = build_indexes(
+        cached, extractor, compiled=False
+    )
+
+    compiled_seconds = 0.0
+    dict_seconds = 0.0
+    identical = True
+    sub_hits = super_hits = 0
+    for query in stream:
+        query_features = features[id(query)]
+
+        start = time.perf_counter()
+        fast_sub = compiled_isub.find_supergraphs(query, query_features)
+        fast_super = compiled_isuper.find_subgraphs(query, query_features)
+        compiled_seconds += time.perf_counter() - start
+
+        start = time.perf_counter()
+        slow_sub = dict_isub.find_supergraphs(query, query_features)
+        slow_super = dict_isuper.find_subgraphs(query, query_features)
+        dict_seconds += time.perf_counter() - start
+
+        if [e.entry_id for e in fast_sub] != [e.entry_id for e in slow_sub]:
+            identical = False
+        if [e.entry_id for e in fast_super] != [e.entry_id for e in slow_super]:
+            identical = False
+        sub_hits += len(fast_sub)
+        super_hits += len(fast_super)
+
+    return {
+        "dataset": args.dataset,
+        "num_queries": len(stream),
+        "distinct_queries": args.distinct,
+        "cached_queries": len(cached),
+        "alpha": args.alpha,
+        "min_speedup_gate": args.min_speedup,
+        "containment_tests": compiled_verifier.stats.tests,
+        "containment_tests_identical": (
+            compiled_verifier.stats.tests == dict_verifier.stats.tests
+            and compiled_verifier.stats.positives == dict_verifier.stats.positives
+        ),
+        "sub_hits": sub_hits,
+        "super_hits": super_hits,
+        "dict_seconds": round(dict_seconds, 4),
+        "compiled_seconds": round(compiled_seconds, 4),
+        "containment_speedup": round(dict_seconds / max(compiled_seconds, 1e-9), 3),
+        "answers_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--dataset", default="synthetic")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--max-path-length", type=int, default=2)
+    parser.add_argument("--num-queries", type=int, default=300)
+    parser.add_argument("--distinct", type=int, default=250)
+    parser.add_argument("--cache-size", type=int, default=200)
+    parser.add_argument("--alpha", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--min-speedup", type=float, default=1.3)
+    parser.add_argument("--output", default=None, help="write the JSON result here too")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    failed = False
+    if not result["answers_identical"]:
+        print("FAIL: compiled containment answers diverge from the dict path", file=sys.stderr)
+        failed = True
+    if not result["containment_tests_identical"]:
+        print("FAIL: compiled containment test accounting diverges", file=sys.stderr)
+        failed = True
+    if result["containment_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: compiled containment speedup {result['containment_speedup']}x "
+            f"is below the {args.min_speedup}x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ from .batch import (
     effective_cpu_count,
 )
 from .cache import CacheEntry, QueryCache
+from .containment import ContainmentIndex
 from .engine import IGQ, IGQQueryResult, QueryPlan
 from .isub import SubgraphQueryIndex
 from .isuper import SupergraphQueryIndex
@@ -31,6 +32,7 @@ __all__ = [
     "effective_cpu_count",
     "CacheEntry",
     "QueryCache",
+    "ContainmentIndex",
     "SubgraphQueryIndex",
     "SupergraphQueryIndex",
     "IndexMaintenance",

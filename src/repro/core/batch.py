@@ -43,7 +43,6 @@ from dataclasses import dataclass, field
 from ..features.canonical import canonical_graph_key, exact_graph_signature
 from ..features.extractor import GraphFeatures
 from ..graphs.graph import LabeledGraph
-from ..isomorphism.verifier import Verifier
 from ..methods.base import QueryResult, SubgraphQueryMethod
 from .engine import IGQ, IGQQueryResult, QueryPlan
 
@@ -237,13 +236,14 @@ def _thread_verify_chunk(
     """Thread-pool entry point.
 
     Threads share the index structures (read-only during querying) but each
-    call gets a private :class:`Verifier`, so the shared statistics counters
-    are never raced; the deltas are merged by the parent deterministically.
+    call gets a private :class:`Verifier` carrying the parent's full
+    configuration — algorithm, induced semantics *and* the
+    ``compiled``/``precheck`` fast-path flags, so A/B baselines keep their
+    meaning on the pool — with zeroed statistics, so the shared counters are
+    never raced; the deltas are merged by the parent deterministically.
     """
     clone = copy.copy(method)
-    clone.verifier = Verifier(
-        algorithm=method.verifier.algorithm, induced=method.verifier.induced
-    )
+    clone.verifier = method.verifier.fresh_clone()
     return _run_verify_chunk(clone, query, candidate_ids, supergraph, features)
 
 

@@ -44,6 +44,15 @@ class CacheEntry:
     alleviated_cost: float = 0.0
     #: free-form annotations (e.g. the query's workload group)
     tags: dict = field(default_factory=dict)
+    #: compiled (bitset) target representation of :attr:`graph`, built by
+    #: the ``Isub`` component on insertion — the cached query plays the
+    #: *target* role there ("is the new query a subgraph of this entry?")
+    #: — and reused until the entry is evicted
+    compiled_target: object | None = field(default=None, repr=False, compare=False)
+    #: compiled matching plan of :attr:`graph`, built by the ``Isuper``
+    #: component on insertion — the cached query plays the *pattern* role
+    #: there ("is this entry a subgraph of the new query?")
+    compiled_plan: object | None = field(default=None, repr=False, compare=False)
 
     def queries_since_added(self, current_counter: int) -> int:
         """M(g): queries processed since this entry entered the cache."""
@@ -54,6 +63,18 @@ class CacheEntry:
         self.hits += 1
         self.removed += removed
         self.alleviated_cost += alleviated_cost
+
+    def release_compiled(self) -> None:
+        """Drop the compiled representations (eviction, index removal).
+
+        Long streams with churny caches would otherwise accumulate compiled
+        state on entry objects that outlive their index membership (the
+        replacement policy, reports and tests keep references to evicted
+        entries); releasing here keeps the steady-state number of live
+        compiled objects bounded by the cache capacity.
+        """
+        self.compiled_target = None
+        self.compiled_plan = None
 
 
 class QueryCache:
@@ -87,11 +108,19 @@ class QueryCache:
         return entry
 
     def remove(self, entry_id: int) -> CacheEntry:
-        """Remove and return the entry with ``entry_id``."""
+        """Remove and return the entry with ``entry_id``.
+
+        The entry's compiled representations are released: an evicted entry
+        may stay referenced (maintenance reports, replacement bookkeeping,
+        tests), but its compiled state is only meaningful while the entry is
+        served by the component indexes.
+        """
         try:
-            return self._entries.pop(entry_id)
+            entry = self._entries.pop(entry_id)
         except KeyError:
             raise KeyError(f"unknown cache entry {entry_id!r}") from None
+        entry.release_compiled()
+        return entry
 
     def get(self, entry_id: int) -> CacheEntry:
         """Return the entry with ``entry_id``."""

@@ -1,0 +1,244 @@
+"""Unified compiled containment layer for the iGQ query indexes.
+
+The two component indexes — ``Isub`` (:mod:`repro.core.isub`) and ``Isuper``
+(:mod:`repro.core.isuper`) — answer mirror-image containment questions over
+the *same* store of cached query graphs, and before this layer existed they
+were near-duplicate trie-plus-verify loops that rebuilt dict-based VF2 state
+for every ``(new query, cached query)`` pair.  :class:`ContainmentIndex`
+factors out everything the two directions share:
+
+* **lifecycle** — a :class:`~repro.features.trie.FeatureTrie` over the cached
+  queries' features, the entry store, and dense bit positions
+  (:class:`~repro.graphs.bitset.DensePositions`) for candidate bitmasks,
+  with ``add`` / ``remove`` / ``rebuild`` maintained in one place;
+* **compilation on insertion** — the whole point of the iGQ cache is that a
+  cached query is containment-tested against *every* new query until it is
+  evicted, so the per-entry side of the compiled kernel
+  (:mod:`repro.isomorphism.compiled`) is built exactly once, when the entry
+  enters an index: ``Isub`` compiles the cached graph as a
+  :class:`CompiledTarget` (the new query is the pattern), ``Isuper`` compiles
+  it as a :class:`CompiledQueryPlan` (the cached query is the pattern, run
+  against the new query compiled once per lookup as the target).  The
+  compiled objects live on the :class:`~repro.core.cache.CacheEntry` itself,
+  so shadow rebuilds re-use them and eviction releases them;
+* **verification dispatch** — one loop over the surviving candidates that
+  applies the size pre-checks and routes each pair through the compiled
+  bitset kernel (with its signature pre-reject) or, when the verifier is
+  configured for the dict-based path (``compiled=False`` — the A/B
+  baseline), through :meth:`Verifier.is_subgraph` exactly as before.  Both
+  routes count one test per pair, so the paper's metrics are
+  path-independent.
+
+The subclasses only keep what is genuinely direction-specific: the candidate
+*filtering* rule (feature-dominance for ``Isub``; Algorithm 2's occurrence
+tallying for ``Isuper``) and ``Isuper``'s ``NF[g_i]`` bookkeeping.
+"""
+
+from __future__ import annotations
+
+from ..features.trie import FeatureTrie
+from ..graphs.bitset import DensePositions
+from ..graphs.graph import LabeledGraph
+from ..isomorphism.compiled import compile_query_plan, compile_target
+from ..isomorphism.verifier import Verifier
+from .cache import CacheEntry, QueryCache
+
+__all__ = ["ContainmentIndex"]
+
+
+class ContainmentIndex:
+    """Shared machinery of the two iGQ containment (component) indexes.
+
+    Parameters
+    ----------
+    verifier:
+        The verifier used for the (small) query-vs-query containment tests;
+        kept separate from the base method's verifier so the paper's "number
+        of subgraph isomorphism tests" metric (tests against dataset graphs)
+        is not polluted.
+    compiled:
+        A/B flag for the compiled containment path (default on).  The
+        effective dispatch also requires the verifier to admit the kernel
+        (``verifier.supports_compiled()``), so ``compiled=False`` here or
+        ``Verifier(compiled=False)`` both restore the dict-based matcher.
+    """
+
+    #: does the cached entry play the *target* role in this direction
+    #: (``Isub``: new query ⊆ cached graph) or the *pattern* role
+    #: (``Isuper``: cached graph ⊆ new query)?
+    entry_is_target: bool = True
+
+    def __init__(self, verifier: Verifier | None = None, compiled: bool = True) -> None:
+        self.verifier = verifier if verifier is not None else Verifier()
+        self.compiled = compiled
+        self._trie = FeatureTrie()
+        self._entries: dict[int, CacheEntry] = {}
+        #: dense bit positions for candidate bitmasks (raw entry ids are
+        #: monotonic, so masks keyed by them would grow without bound)
+        self._slots = DensePositions()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, entry: CacheEntry) -> None:
+        """Index a cached query entry, compiling its kernel-side state.
+
+        Compilation happens here — on insertion — because the entry will be
+        containment-tested against every incoming query until it is evicted;
+        an entry that already carries compiled state (a shadow rebuild
+        re-adding surviving entries) keeps it.
+        """
+        self._entries[entry.entry_id] = entry
+        self._slots.add(entry.entry_id)
+        for key, count in entry.features.counts.items():
+            self._trie.insert(key, entry.entry_id, count)
+        if self.use_compiled():
+            self._compile_entry(entry)
+        self._entry_added(entry)
+
+    def remove(self, entry_id: int) -> None:
+        """Remove a cached query entry, releasing its compiled state."""
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            return
+        self._slots.remove(entry_id)
+        self._trie.remove_graph(entry_id)
+        self._release_entry(entry)
+        self._entry_removed(entry_id)
+
+    def rebuild(self, cache: QueryCache) -> None:
+        """Rebuild from scratch over the current contents of ``cache``.
+
+        This is the "shadow index" construction of §5.2: the caller builds a
+        fresh index and swaps it in, so queries keep being served while the
+        rebuild is in progress.  Entries surviving the rebuild keep their
+        compiled state (it depends only on the entry's immutable graph);
+        evicted entries were already released by
+        :meth:`~repro.core.cache.QueryCache.remove`.
+        """
+        self._trie = FeatureTrie()
+        self._entries = {}
+        self._slots.reset()
+        self._store_reset()
+        for entry in cache.entries():
+            self.add(entry)
+
+    # ------------------------------------------------------------------
+    # Direction-specific hooks
+    # ------------------------------------------------------------------
+    def _entry_added(self, entry: CacheEntry) -> None:
+        """Extra per-entry bookkeeping of a subclass (default: none)."""
+
+    def _entry_removed(self, entry_id: int) -> None:
+        """Undo a subclass's extra per-entry bookkeeping (default: none)."""
+
+    def _store_reset(self) -> None:
+        """Reset a subclass's extra stores for a shadow rebuild."""
+
+    # ------------------------------------------------------------------
+    # Compiled-state lifecycle
+    # ------------------------------------------------------------------
+    def use_compiled(self) -> bool:
+        """True when containment tests dispatch to the compiled kernel."""
+        return self.compiled and self.verifier.supports_compiled()
+
+    def _compile_entry(self, entry: CacheEntry) -> None:
+        if self.entry_is_target:
+            if entry.compiled_target is None:
+                entry.compiled_target = compile_target(entry.graph)
+        elif entry.compiled_plan is None:
+            entry.compiled_plan = compile_query_plan(entry.graph)
+
+    def _release_entry(self, entry: CacheEntry) -> None:
+        if self.entry_is_target:
+            entry.compiled_target = None
+        else:
+            entry.compiled_plan = None
+
+    # ------------------------------------------------------------------
+    # Verification dispatch
+    # ------------------------------------------------------------------
+    def _verified_hits(self, query: LabeledGraph, candidate_mask: int) -> list[CacheEntry]:
+        """Verify the candidates of ``candidate_mask`` against ``query``.
+
+        Applies the direction's size pre-checks (not counted as tests, as
+        before), then one counted containment test per surviving pair —
+        through the compiled kernel when enabled, through the graph-based
+        matcher otherwise.  The query-side compiled representation (plan for
+        ``Isub``, target for ``Isuper``) is built lazily on the first pair
+        and shared by the whole lookup.  (The dataset verification stage
+        compiles the same query's plan again in its own layer; that
+        duplicate is one O(|query|) compile per query — microseconds — and
+        threading the object across the method interface is not worth the
+        coupling.)
+        """
+        verifier = self.verifier
+        compiled = self.use_compiled()
+        query_num_vertices = query.num_vertices
+        query_num_edges = query.num_edges
+        entry_is_target = self.entry_is_target
+        query_side = None
+        results = []
+        for entry_id in self._slots.keys_of(candidate_mask):
+            entry = self._entries[entry_id]
+            graph = entry.graph
+            if entry_is_target:
+                if graph.num_vertices < query_num_vertices:
+                    continue
+                if graph.num_edges < query_num_edges:
+                    continue
+            else:
+                if graph.num_vertices > query_num_vertices:
+                    continue
+                if graph.num_edges > query_num_edges:
+                    continue
+            if compiled:
+                if entry_is_target:
+                    if query_side is None:
+                        query_side = compile_query_plan(query)
+                    target = entry.compiled_target
+                    if target is None:
+                        # Entry indexed while the compiled path was off (an
+                        # A/B toggle mid-stream); compile-and-cache now.
+                        target = compile_target(graph)
+                        entry.compiled_target = target
+                    matched = verifier.is_subgraph_compiled(query_side, target)
+                else:
+                    if query_side is None:
+                        query_side = compile_target(query)
+                    plan = entry.compiled_plan
+                    if plan is None:
+                        plan = compile_query_plan(graph)
+                        entry.compiled_plan = plan
+                    matched = verifier.is_subgraph_compiled(plan, query_side)
+            elif entry_is_target:
+                matched = verifier.is_subgraph(query, graph)
+            else:
+                matched = verifier.is_subgraph(graph, query)
+            if matched:
+                results.append(entry)
+        return results
+
+    def _full_mask(self) -> int:
+        """Mask covering every indexed entry."""
+        slots = self._slots
+        mask = 0
+        for entry_id in self._entries:
+            mask |= slots.bit(entry_id)
+        return mask
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def estimated_size_bytes(self) -> int:
+        """Approximate in-memory size of the index structure (Figure 18).
+
+        The compiled per-entry state is a performance cache, excluded here
+        for parity with the dataset-side compiled caches (which Figure 18's
+        index-size comparison also excludes).
+        """
+        return self._trie.estimated_size_bytes()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} entries={len(self._entries)} compiled={self.use_compiled()}>"

@@ -131,6 +131,12 @@ class IGQ:
         engine instance serves (the cache stores answers of that type).
     enable_isub / enable_isuper:
         Switch either component off (used by the component ablation).
+    igq_compiled:
+        A/B flag for the compiled containment layer of the two component
+        indexes (default on): cached query graphs are compiled on insertion
+        and query-vs-query containment runs on the bitset kernel.
+        ``False`` restores the dict-based matcher per pair — answers,
+        hit/miss accounting and replacement state are identical either way.
     """
 
     def __init__(
@@ -143,6 +149,7 @@ class IGQ:
         enable_isub: bool = True,
         enable_isuper: bool = True,
         igq_verifier: Verifier | None = None,
+        igq_compiled: bool = True,
     ) -> None:
         if mode not in (SUBGRAPH_MODE, SUPERGRAPH_MODE):
             raise ValueError(f"unknown mode {mode!r}")
@@ -155,8 +162,16 @@ class IGQ:
             policy = create_policy(policy)
         self._igq_verifier = igq_verifier if igq_verifier is not None else Verifier()
         self.cache = QueryCache()
-        self.isub = SubgraphQueryIndex(self._igq_verifier) if enable_isub else None
-        self.isuper = SupergraphQueryIndex(self._igq_verifier) if enable_isuper else None
+        self.isub = (
+            SubgraphQueryIndex(self._igq_verifier, compiled=igq_compiled)
+            if enable_isub
+            else None
+        )
+        self.isuper = (
+            SupergraphQueryIndex(self._igq_verifier, compiled=igq_compiled)
+            if enable_isuper
+            else None
+        )
         self.maintenance = IndexMaintenance(
             cache_size=cache_size, window_size=window_size, policy=policy
         )

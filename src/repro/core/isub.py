@@ -10,64 +10,32 @@ methods: cached query features are kept in a
 occurrence-count dominance and the surviving cached graphs are verified with
 a (cheap — query graphs are small) subgraph isomorphism test, which makes
 formula (1) hold: every reported entry is a true supergraph of ``g``.
+
+The lifecycle and verification machinery is shared with ``Isuper`` through
+:class:`~repro.core.containment.ContainmentIndex`: cached graphs are
+compiled into bitset targets on insertion and every containment test runs
+on the compiled kernel (the new query's plan is compiled once per lookup).
 """
 
 from __future__ import annotations
 
 from ..features.extractor import GraphFeatures
-from ..features.trie import FeatureTrie
-from ..graphs.bitset import DensePositions
 from ..graphs.graph import LabeledGraph
-from ..isomorphism.verifier import Verifier
-from .cache import CacheEntry, QueryCache
+from .cache import CacheEntry
+from .containment import ContainmentIndex
 
 __all__ = ["SubgraphQueryIndex"]
 
 
-class SubgraphQueryIndex:
-    """Index of cached queries supporting "is g a subgraph of a cached query?"."""
+class SubgraphQueryIndex(ContainmentIndex):
+    """Index of cached queries supporting "is g a subgraph of a cached query?".
 
-    def __init__(self, verifier: Verifier | None = None) -> None:
-        #: verifier for the (small) query-vs-query containment tests; kept
-        #: separate from the base method's verifier so that the paper's
-        #: "number of subgraph isomorphism tests" metric (tests against
-        #: dataset graphs) is not polluted.
-        self.verifier = verifier if verifier is not None else Verifier()
-        self._trie = FeatureTrie()
-        self._entries: dict[int, CacheEntry] = {}
-        #: dense bit positions for candidate bitmasks (raw entry ids are
-        #: monotonic, so masks keyed by them would grow without bound)
-        self._slots = DensePositions()
+    The cached queries play the *target* role: each entry carries a
+    ``CompiledTarget`` built when it entered the index and reused against
+    every incoming query until eviction.
+    """
 
-    # ------------------------------------------------------------------
-    # Maintenance
-    # ------------------------------------------------------------------
-    def add(self, entry: CacheEntry) -> None:
-        """Index a cached query entry."""
-        self._entries[entry.entry_id] = entry
-        self._slots.add(entry.entry_id)
-        for key, count in entry.features.counts.items():
-            self._trie.insert(key, entry.entry_id, count)
-
-    def remove(self, entry_id: int) -> None:
-        """Remove a cached query entry from the index."""
-        if entry_id in self._entries:
-            del self._entries[entry_id]
-            self._slots.remove(entry_id)
-            self._trie.remove_graph(entry_id)
-
-    def rebuild(self, cache: QueryCache) -> None:
-        """Rebuild from scratch over the current contents of ``cache``.
-
-        This is the "shadow index" construction of §5.2: the caller builds a
-        fresh index and swaps it in, so queries keep being served while the
-        rebuild is in progress.
-        """
-        self._trie = FeatureTrie()
-        self._entries = {}
-        self._slots.reset()
-        for entry in cache.entries():
-            self.add(entry)
+    entry_is_target = True
 
     # ------------------------------------------------------------------
     # Query
@@ -86,9 +54,8 @@ class SubgraphQueryIndex:
         if not self._entries:
             return []
         # Candidate bookkeeping as an integer bitmask over dense entry
-        # positions (insertion order within the current index generation,
-        # so iteration yields entries oldest-first — the same order the
-        # previous sorted-id traversal produced).
+        # positions (the allocation order of the current index generation,
+        # which matches insertion order until a removed slot is recycled).
         slots = self._slots
         candidate_mask: int | None = None
         for key, required in features.counts.items():
@@ -103,24 +70,5 @@ class SubgraphQueryIndex:
             if not candidate_mask:
                 return []
         if candidate_mask is None:
-            candidate_mask = 0
-            for entry_id in self._entries:
-                candidate_mask |= slots.bit(entry_id)
-        results = []
-        for entry_id in slots.keys_of(candidate_mask):
-            entry = self._entries[entry_id]
-            if entry.graph.num_vertices < query.num_vertices:
-                continue
-            if entry.graph.num_edges < query.num_edges:
-                continue
-            if self.verifier.is_subgraph(query, entry.graph):
-                results.append(entry)
-        return results
-
-    # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def estimated_size_bytes(self) -> int:
-        """Approximate in-memory size of the index structure (Figure 18)."""
-        return self._trie.estimated_size_bytes()
+            candidate_mask = self._full_mask()
+        return self._verified_hits(query, candidate_mask)

@@ -16,6 +16,12 @@ instead of reusing a general supergraph-query method:
 
 The candidate generation cannot miss a true subgraph (no false negatives) and
 the final verification removes all false positives, establishing formula (2).
+
+The lifecycle and verification machinery is shared with ``Isub`` through
+:class:`~repro.core.containment.ContainmentIndex`: here the cached queries
+play the *pattern* role, so each entry carries a ``CompiledQueryPlan``
+compiled on insertion and the new query is compiled once per lookup as the
+target.
 """
 
 from __future__ import annotations
@@ -23,54 +29,35 @@ from __future__ import annotations
 from collections import Counter
 
 from ..features.extractor import GraphFeatures
-from ..features.trie import FeatureTrie
-from ..graphs.bitset import DensePositions
 from ..graphs.graph import LabeledGraph
-from ..isomorphism.verifier import Verifier
-from .cache import CacheEntry, QueryCache
+from .cache import CacheEntry
+from .containment import ContainmentIndex
 
 __all__ = ["SupergraphQueryIndex"]
 
 
-class SupergraphQueryIndex:
+class SupergraphQueryIndex(ContainmentIndex):
     """Index of cached queries supporting "is a cached query a subgraph of g?"."""
 
-    def __init__(self, verifier: Verifier | None = None) -> None:
-        self.verifier = verifier if verifier is not None else Verifier()
-        self._trie = FeatureTrie()
-        self._entries: dict[int, CacheEntry] = {}
+    entry_is_target = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
         #: NF[g_i] — number of distinct features of each indexed query
         self._num_features: dict[int, int] = {}
-        #: dense bit positions for candidate bitmasks (see SubgraphQueryIndex)
-        self._slots = DensePositions()
 
     # ------------------------------------------------------------------
-    # Maintenance (Algorithm 1)
+    # Maintenance (Algorithm 1) — extra NF bookkeeping on top of the shared
+    # ContainmentIndex lifecycle
     # ------------------------------------------------------------------
-    def add(self, entry: CacheEntry) -> None:
-        """Index a cached query entry (one iteration of Algorithm 1's loop)."""
-        self._entries[entry.entry_id] = entry
+    def _entry_added(self, entry: CacheEntry) -> None:
         self._num_features[entry.entry_id] = entry.features.num_distinct
-        self._slots.add(entry.entry_id)
-        for key, count in entry.features.counts.items():
-            self._trie.insert(key, entry.entry_id, count)
 
-    def remove(self, entry_id: int) -> None:
-        """Remove a cached query entry from the index."""
-        if entry_id in self._entries:
-            del self._entries[entry_id]
-            del self._num_features[entry_id]
-            self._slots.remove(entry_id)
-            self._trie.remove_graph(entry_id)
+    def _entry_removed(self, entry_id: int) -> None:
+        del self._num_features[entry_id]
 
-    def rebuild(self, cache: QueryCache) -> None:
-        """Rebuild from scratch over the current contents of ``cache``."""
-        self._trie = FeatureTrie()
-        self._entries = {}
+    def _store_reset(self) -> None:
         self._num_features = {}
-        self._slots.reset()
-        for entry in cache.entries():
-            self.add(entry)
 
     # ------------------------------------------------------------------
     # Query (Algorithm 2)
@@ -107,25 +94,13 @@ class SupergraphQueryIndex:
         """Return the cached entries ``G`` with ``G ⊆ query`` (``Isuper(g)``)."""
         if not self._entries:
             return []
-        results = []
-        for entry_id in self._slots.keys_of(self.candidate_mask(features)):
-            entry = self._entries[entry_id]
-            if entry.graph.num_vertices > query.num_vertices:
-                continue
-            if entry.graph.num_edges > query.num_edges:
-                continue
-            if self.verifier.is_subgraph(entry.graph, query):
-                results.append(entry)
-        return results
+        return self._verified_hits(query, self.candidate_mask(features))
 
     # ------------------------------------------------------------------
-    def __len__(self) -> int:
-        return len(self._entries)
-
     def num_features(self, entry_id: int) -> int:
         """``NF[g_i]`` — distinct feature count of an indexed entry."""
         return self._num_features[entry_id]
 
     def estimated_size_bytes(self) -> int:
         """Approximate in-memory size of the index structure (Figure 18)."""
-        return self._trie.estimated_size_bytes() + 40 * len(self._num_features)
+        return super().estimated_size_bytes() + 40 * len(self._num_features)

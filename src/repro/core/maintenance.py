@@ -13,6 +13,14 @@ so that query processing is never blocked by index updates.  In this
 single-process reproduction the "swap" is simply a rebuild of the two
 component indexes after the cache contents have been updated; the structure
 of the algorithm (windowing, batched eviction, full rebuild) is preserved.
+
+Compiled-state lifecycle: evicting through
+:meth:`~repro.core.cache.QueryCache.remove` releases the victim entries'
+compiled representations (``CompiledTarget`` / ``CompiledQueryPlan``), while
+the shadow rebuild re-adds the surviving entries *with* their compiled state
+intact — so across any number of window flushes each cached query is
+compiled at most once per direction, and the number of live compiled objects
+stays bounded by the cache capacity.
 """
 
 from __future__ import annotations

@@ -49,31 +49,44 @@ class DensePositions:
     Unlike the frozen :class:`GraphIdSpace`, keys arrive over time (the iGQ
     component indexes add cache entries whose monotonically assigned ids are
     never reused, so using the ids as bit positions directly would let the
-    masks grow without bound over a long query stream).  Removal leaves a
-    hole until :meth:`reset`; the owners reset at every shadow rebuild.
+    masks grow without bound over a long query stream).  :meth:`remove`
+    releases the key's position onto a free list and :meth:`add` reuses
+    freed positions before growing, so a churny add/remove stream keeps the
+    allocator's footprint proportional to the number of *live* keys.  The
+    trade-off is that position order equals insertion order only until the
+    first reuse; the engine's maintenance path always rebuilds through
+    :meth:`reset`, so its iteration order is unaffected.
     """
 
-    __slots__ = ("_positions", "_order")
+    __slots__ = ("_positions", "_order", "_free")
 
     def __init__(self) -> None:
         self._positions: dict = {}
         self._order: list = []
+        self._free: list[int] = []
 
     def add(self, key: Hashable) -> int:
-        """Assign (and return) the next free position for ``key``."""
-        position = len(self._order)
+        """Assign (and return) a free position for ``key``."""
+        if self._free:
+            position = self._free.pop()
+            self._order[position] = key
+        else:
+            position = len(self._order)
+            self._order.append(key)
         self._positions[key] = position
-        self._order.append(key)
         return position
 
     def remove(self, key: Hashable) -> None:
-        """Forget ``key``; its position stays a hole until :meth:`reset`."""
-        del self._positions[key]
+        """Forget ``key`` and release its position for reuse."""
+        position = self._positions.pop(key)
+        self._order[position] = None
+        self._free.append(position)
 
     def reset(self) -> None:
         """Drop all assignments (start of a shadow rebuild)."""
         self._positions = {}
         self._order = []
+        self._free = []
 
     def bit(self, key: Hashable) -> int:
         """Single-bit mask of ``key``."""
@@ -84,7 +97,13 @@ class DensePositions:
         return self._order[position]
 
     def keys_of(self, mask: int) -> Iterator[Hashable]:
-        """Keys covered by ``mask``, in position (= insertion) order."""
+        """Keys covered by ``mask``, in position order.
+
+        Position order equals insertion order only until a freed position
+        is recycled by :meth:`add`; after that, a recycled key sorts where
+        its predecessor did.  Callers needing strict insertion order must
+        rebuild through :meth:`reset` (as the engine's maintenance does).
+        """
         order = self._order
         return (order[position] for position in iter_bits(mask))
 

@@ -6,6 +6,8 @@ from .compiled import (
     compile_query_plan,
     compile_target,
     compiled_has_embedding,
+    masked_components,
+    masked_edge_count,
     signature_prereject,
 )
 from .cost import (
@@ -30,6 +32,8 @@ __all__ = [
     "compile_query_plan",
     "compile_target",
     "compiled_has_embedding",
+    "masked_components",
+    "masked_edge_count",
     "signature_prereject",
     "VF2Matcher",
     "UllmannMatcher",

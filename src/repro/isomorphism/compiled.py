@@ -34,13 +34,25 @@ counts, label-histogram dominance, per-label degree-signature dominance);
 it rejects most non-matching candidates before any search starts and is
 also applied by the :class:`~repro.isomorphism.verifier.Verifier` on the
 non-compiled path.
+
+**Region-masked matching** — :func:`compiled_has_embedding` optionally takes
+a ``vertex_mask`` (an ``int`` bitmask over the target's
+:class:`VertexIdSpace`) restricting candidate generation to the masked
+vertices.  A masked run answers "does the pattern embed with its image
+entirely inside the mask?", which for a vertex-induced region is exactly the
+question of matching against the materialised region subgraph — Grapes'
+component-restricted verification uses it to test query regions against the
+*whole-graph* compiled target instead of building a subgraph per candidate
+pair.  :func:`masked_components` and :func:`masked_edge_count` supply the
+component decomposition and edge counts of a masked region without ever
+materialising it.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable
 
-from ..graphs.bitset import VertexIdSpace
+from ..graphs.bitset import VertexIdSpace, iter_bits
 from ..graphs.graph import LabeledGraph
 
 __all__ = [
@@ -49,6 +61,8 @@ __all__ = [
     "compile_target",
     "compile_query_plan",
     "compiled_has_embedding",
+    "masked_components",
+    "masked_edge_count",
     "signature_prereject",
     "degree_signature_dominates",
 ]
@@ -295,18 +309,82 @@ def compile_query_plan(pattern: LabeledGraph) -> CompiledQueryPlan:
     return CompiledQueryPlan(pattern)
 
 
-def compiled_has_embedding(plan: CompiledQueryPlan, target: CompiledTarget) -> bool:
+def masked_components(target: CompiledTarget, vertex_mask: int) -> list[int]:
+    """Connected components of ``target`` restricted to ``vertex_mask``.
+
+    Each component is returned as an ``int`` bitmask over the target's
+    vertex id space.  The components are ordered exactly like
+    :func:`repro.graphs.traversal.connected_components` orders them on the
+    materialised induced subgraph — decreasing size, ties broken by the
+    ``repr`` of the smallest vertex — so a caller replacing a
+    subgraph-then-decompose loop keeps visiting the same components in the
+    same order (Grapes relies on this for byte-identical test accounting).
+    """
+    adjacency = target.adjacency_masks
+    components: list[int] = []
+    remaining = vertex_mask
+    while remaining:
+        frontier = remaining & -remaining
+        component = 0
+        while frontier:
+            component |= frontier
+            reached = 0
+            for position in iter_bits(frontier):
+                reached |= adjacency[position]
+            frontier = reached & vertex_mask & ~component
+        components.append(component)
+        remaining &= ~component
+    if len(components) > 1:
+        space = target.space
+
+        def sort_key(component: int):
+            smallest = min(repr(space.id_at(position)) for position in iter_bits(component))
+            # Mirror connected_components' `repr(sorted(map(repr, comp))[:1])`
+            # tie-break key exactly: sorted(...)[:1] == [min(...)].
+            return (-component.bit_count(), repr([smallest]))
+
+        components.sort(key=sort_key)
+    return components
+
+
+def masked_edge_count(target: CompiledTarget, vertex_mask: int) -> int:
+    """Number of target edges with both endpoints inside ``vertex_mask``.
+
+    Equals ``graph.subgraph(vertices).num_edges`` for the vertex set the
+    mask denotes, computed by popcount instead of materialisation.
+    """
+    adjacency = target.adjacency_masks
+    total = 0
+    for position in iter_bits(vertex_mask):
+        total += (adjacency[position] & vertex_mask).bit_count()
+    return total // 2
+
+
+def compiled_has_embedding(
+    plan: CompiledQueryPlan, target: CompiledTarget, vertex_mask: int | None = None
+) -> bool:
     """True if the plan's pattern has a (non-induced) embedding in ``target``.
 
     Semantics are identical to ``VF2Matcher(pattern, target).has_match()``;
     the search differs only in representation.  The kernel is recursion-free:
     one explicit stack frame per matching-order position, each holding the
     not-yet-tried candidate mask at that depth.
+
+    With a ``vertex_mask``, candidate generation is additionally restricted
+    to the masked target vertices, so the kernel answers whether an embedding
+    exists whose image lies entirely inside the mask — equivalently, whether
+    the pattern embeds in the vertex-induced subgraph the mask denotes.  The
+    whole-graph signature pre-reject stays sound (the region's invariants are
+    dominated by the full target's), and look-ahead feasibility counts only
+    the masked neighbours.
     """
     if plan.num_vertices == 0:
         return True
+    if vertex_mask is not None and vertex_mask.bit_count() < plan.num_vertices:
+        return False
     if plan.prereject(target):
         return False
+    region = -1 if vertex_mask is None else vertex_mask
 
     steps = plan.steps
     depth_count = len(steps)
@@ -335,7 +413,7 @@ def compiled_has_embedding(plan: CompiledQueryPlan, target: CompiledTarget) -> b
                     candidates &= label_adjacency[images[anchor]].get(label, 0)
             else:
                 candidates = label_masks.get(label, 0)
-            candidates &= ~used
+            candidates &= region & ~used
         else:
             candidates = pending[depth]
 
@@ -346,7 +424,7 @@ def compiled_has_embedding(plan: CompiledQueryPlan, target: CompiledTarget) -> b
             vertex = low.bit_length() - 1
             if degrees[vertex] < min_degree:
                 continue
-            if lookahead and (adjacency[vertex] & ~used).bit_count() < lookahead:
+            if lookahead and (adjacency[vertex] & region & ~used).bit_count() < lookahead:
                 continue
             # Accept this candidate and descend.
             pending[depth] = candidates

@@ -117,15 +117,23 @@ class Verifier:
             return None
         return compile_target(target)
 
-    def is_subgraph_compiled(self, plan: CompiledQueryPlan, target: CompiledTarget) -> bool:
+    def is_subgraph_compiled(
+        self,
+        plan: CompiledQueryPlan,
+        target: CompiledTarget,
+        vertex_mask: int | None = None,
+    ) -> bool:
         """Test ``plan.pattern ⊆ target.graph`` through the bitset kernel.
 
         Counts and times exactly like :meth:`is_subgraph`; callers obtain
         ``plan`` and ``target`` from :meth:`compile_pattern` /
-        :meth:`compile_target` or from the database caches.
+        :meth:`compile_target` or from the database caches.  A ``vertex_mask``
+        restricts the embedding's image to the masked target vertices
+        (region-restricted verification); a masked run is still one counted
+        test, exactly like the region-subgraph test it replaces.
         """
         start = time.perf_counter()
-        result = compiled_has_embedding(plan, target)
+        result = compiled_has_embedding(plan, target, vertex_mask)
         self._record(result, time.perf_counter() - start)
         return result
 
@@ -164,3 +172,19 @@ class Verifier:
     def reset(self) -> None:
         """Reset the accumulated statistics."""
         self.stats.reset()
+
+    def fresh_clone(self) -> "Verifier":
+        """A new verifier with the same configuration and zeroed statistics.
+
+        Worker-side verification (process snapshots, per-chunk thread
+        clones) must run under the *same* algorithm and fast-path flags as
+        the parent — otherwise an A/B run with ``compiled=False`` would
+        silently re-enable the fast path on the pool — but must not inherit
+        the parent's accumulated counters.
+        """
+        return Verifier(
+            algorithm=self.algorithm,
+            induced=self.induced,
+            compiled=self.compiled,
+            precheck=self.precheck,
+        )

@@ -317,11 +317,19 @@ class SubgraphQueryMethod(ABC):
         ``supergraph`` (dataset graphs play the pattern role there) — is
         materialised first so the snapshot carries it: compilation then
         happens once in the parent instead of once per worker process.
+
+        The snapshot gets a fresh verifier with the parent's configuration:
+        workers report statistic *deltas*, so shipping the parent's
+        accumulated counters (in particular the unbounded per-test timing
+        list) would only bloat the pickle — while the configuration must
+        ride along so an A/B run (``compiled=False`` / ``precheck=False``)
+        keeps its meaning on the pool.
         """
         if self.database is not None and self.verifier.supports_compiled():
             self.database.precompile(targets=not supergraph, plans=supergraph)
         clone = copy.copy(self)
         clone._graph_features = {}
+        clone.verifier = self.verifier.fresh_clone()
         return clone
 
     # ------------------------------------------------------------------

@@ -16,7 +16,6 @@ DESIGN.md, substitutions).
 
 from __future__ import annotations
 
-import copy
 from collections.abc import Hashable
 
 from ..features.extractor import FeatureExtractor, GraphFeatures
@@ -24,6 +23,7 @@ from ..features.trie import FeatureTrie
 from ..graphs.bitset import CandidateBitmap
 from ..graphs.graph import LabeledGraph
 from ..graphs.traversal import connected_components, is_connected
+from ..isomorphism.compiled import masked_components, masked_edge_count
 from ..isomorphism.verifier import Verifier
 from .base import SubgraphQueryMethod, dominance_candidate_mask
 
@@ -102,11 +102,22 @@ class GrapesMethod(SubgraphQueryMethod):
         components of the subgraph induced by the query-feature locations.
         Falls back to whole-graph testing for disconnected queries (the
         region argument only bounds connected embeddings).
+
+        On the compiled path the query plan is compiled once and each
+        component test runs against the candidate's database-cached
+        whole-graph :class:`CompiledTarget` restricted by the component's
+        vertex bitmask — no region subgraph is ever materialised.  Component
+        order, the size/edge pre-checks and the one-test-per-component
+        accounting replicate the dict-based path exactly
+        (``Verifier(compiled=False)`` restores it for A/B runs).
         """
         self._require_index()
         if features is None:
             features = self.extract_query_features(query)
         query_connected = is_connected(query)
+        plan = self.verifier.compile_pattern(query)
+        if plan is not None:
+            return self._verify_compiled(query, candidate_ids, features, query_connected, plan)
         answers = set()
         for graph_id in candidate_ids:
             graph = self.database.get(graph_id)
@@ -132,15 +143,53 @@ class GrapesMethod(SubgraphQueryMethod):
                 answers.add(graph_id)
         return answers
 
+    def _verify_compiled(
+        self,
+        query: LabeledGraph,
+        candidate_ids,
+        features: GraphFeatures,
+        query_connected: bool,
+        plan,
+    ) -> set:
+        """Region-masked verification on the compiled bitset kernel."""
+        verifier = self.verifier
+        compiled_target = self.database.compiled_target
+        answers = set()
+        for graph_id in candidate_ids:
+            target = compiled_target(graph_id)
+            if not query_connected:
+                if verifier.is_subgraph_compiled(plan, target):
+                    answers.add(graph_id)
+                continue
+            region = self.candidate_regions(features, graph_id)
+            if len(region) < query.num_vertices:
+                continue
+            position = target.space.position
+            region_mask = 0
+            for vertex in region:
+                region_mask |= 1 << position(vertex)
+            matched = False
+            for component_mask in masked_components(target, region_mask):
+                if component_mask.bit_count() < query.num_vertices:
+                    continue
+                if masked_edge_count(target, component_mask) < query.num_edges:
+                    continue
+                if verifier.is_subgraph_compiled(plan, target, vertex_mask=component_mask):
+                    matched = True
+                    break
+            if matched:
+                answers.add(graph_id)
+        return answers
+
     def verification_snapshot(self, supergraph: bool = False) -> "GrapesMethod":
-        """Worker-side copy without the trie; the location tables stay —
-        component-restricted verification reads them.  Grapes' own (subgraph)
-        verification builds region subgraphs per pair and cannot reuse
-        compiled targets, but supergraph verification comes from the base
-        class, so its compiled plans are still precompiled."""
-        if supergraph and self.database is not None and self.verifier.supports_compiled():
-            self.database.precompile(targets=False, plans=True)
-        clone = copy.copy(self)
+        """Worker-side copy without the trie, keeping the location tables —
+        component-restricted verification reads them.  The base snapshot
+        precompiles and ships the compiled representation the direction
+        consumes (whole-graph bitset targets for subgraph verification —
+        region-masked matching restricts them per component — and matching
+        plans for the supergraph direction)."""
+        clone = super().verification_snapshot(supergraph=supergraph)
+        clone._graph_features = self._graph_features
         clone._trie = FeatureTrie()
         return clone
 

@@ -1,0 +1,250 @@
+"""Tests for the unified compiled containment layer.
+
+Three contracts:
+
+* **Equivalence** — with the compiled path on (the default), the two
+  component indexes and Grapes' region-masked verification return exactly
+  the answers, hit lists and verifier accounting of the dict-based path
+  (``compiled=False``), at the index level and end-to-end through the
+  engine.
+* **Compile-on-insertion** — cached entries carry their ``CompiledTarget`` /
+  ``CompiledQueryPlan`` from the moment they are indexed, shadow rebuilds
+  reuse (never recompile) them, and eviction releases them.
+* **Bounded lifecycle** — a long churny insert/evict stream keeps the number
+  of live compiled objects and the dense-slot allocator's footprint at a
+  steady state instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+
+import pytest
+
+from repro.core import IGQ, QueryCache, SubgraphQueryIndex, SupergraphQueryIndex
+from repro.datasets.registry import load_dataset
+from repro.features import FeatureExtractor
+from repro.isomorphism import CompiledQueryPlan, CompiledTarget, Verifier
+from repro.methods import create_method
+from repro.workloads.generator import QueryGenerator, WorkloadSpec
+from repro.workloads.zipf import create_sampler
+
+from .conftest import make_cycle_graph, make_path_graph, random_labeled_graph
+
+EXTRACTOR = FeatureExtractor(max_path_length=3)
+
+
+@pytest.fixture(scope="module")
+def small_synthetic():
+    return load_dataset("synthetic", scale=0.15)
+
+
+def build_indexes(graphs, compiled: bool, verifier: Verifier | None = None):
+    cache = QueryCache()
+    isub = SubgraphQueryIndex(verifier, compiled=compiled)
+    isuper = SupergraphQueryIndex(verifier, compiled=compiled)
+    for graph in graphs:
+        entry = cache.add(graph, EXTRACTOR.extract(graph), frozenset())
+        isub.add(entry)
+        isuper.add(entry)
+    return cache, isub, isuper
+
+
+def random_query_pool(rng: random.Random, count: int, lo: int = 2, hi: int = 7):
+    return [
+        random_labeled_graph(rng, rng.randint(lo, hi), 0.4, name=f"c{i}")
+        for i in range(count)
+    ]
+
+
+class TestCompiledDictEquivalence:
+    def test_index_answers_and_accounting_match(self):
+        rng = random.Random(23)
+        cached = random_query_pool(rng, 25)
+        fast_verifier = Verifier()
+        slow_verifier = Verifier(compiled=False)
+        _, fast_isub, fast_isuper = build_indexes(cached, True, fast_verifier)
+        _, slow_isub, slow_isuper = build_indexes(cached, False, slow_verifier)
+        for _ in range(40):
+            query = random_labeled_graph(rng, rng.randint(2, 8), 0.4)
+            features = EXTRACTOR.extract(query)
+            fast_sub = [e.entry_id for e in fast_isub.find_supergraphs(query, features)]
+            slow_sub = [e.entry_id for e in slow_isub.find_supergraphs(query, features)]
+            assert fast_sub == slow_sub
+            fast_super = [e.entry_id for e in fast_isuper.find_subgraphs(query, features)]
+            slow_super = [e.entry_id for e in slow_isuper.find_subgraphs(query, features)]
+            assert fast_super == slow_super
+        # One counted test per surviving pair, on both paths.
+        assert fast_verifier.stats.tests == slow_verifier.stats.tests
+        assert fast_verifier.stats.positives == slow_verifier.stats.positives
+        assert fast_verifier.stats.negatives == slow_verifier.stats.negatives
+        assert fast_verifier.stats.tests > 0
+
+    @pytest.mark.parametrize("method_name", ["ggsx", "grapes"])
+    def test_engine_state_byte_identical(self, method_name, small_synthetic):
+        database = small_synthetic
+        spec = WorkloadSpec(
+            name="zipf", graph_distribution="zipf", node_distribution="zipf",
+            alpha=1.2, seed=5,
+        )
+        pool = QueryGenerator(database, spec).generate(12)
+        rng = random.Random(6)
+        sampler = create_sampler("zipf", len(pool), alpha=1.2)
+        stream = [pool[sampler.sample(rng)] for _ in range(40)]
+
+        def run(compiled: bool):
+            method = create_method(
+                method_name,
+                max_path_length=3,
+                verifier=Verifier(compiled=compiled),
+            )
+            engine = IGQ(
+                method,
+                cache_size=12,
+                window_size=4,
+                igq_compiled=compiled,
+                igq_verifier=Verifier(compiled=compiled),
+            )
+            engine.build_index(database)
+            results = [engine.query(query) for query in stream]
+            answers = [tuple(sorted(map(repr, result.answers))) for result in results]
+            accounting = [
+                (
+                    result.num_isomorphism_tests,
+                    result.num_sub_hits,
+                    result.num_super_hits,
+                    result.exact_hit,
+                    result.verification_skipped,
+                )
+                for result in results
+            ]
+            cache_state = sorted(
+                (
+                    entry.entry_id,
+                    entry.graph.name,
+                    tuple(sorted(map(repr, entry.answer))),
+                    entry.hits,
+                    entry.removed,
+                    round(entry.alleviated_cost, 9),
+                    entry.added_at,
+                )
+                for entry in engine.cache.entries()
+            )
+            igq_stats = engine.igq_verifier.stats
+            return (
+                answers,
+                accounting,
+                cache_state,
+                (igq_stats.tests, igq_stats.positives, igq_stats.negatives),
+                (
+                    method.verifier.stats.tests,
+                    method.verifier.stats.positives,
+                    method.verifier.stats.negatives,
+                ),
+            )
+
+        assert run(True) == run(False)
+
+
+class TestCompileOnInsertion:
+    def test_entries_carry_compiled_state(self):
+        cached = [make_cycle_graph("ABCD"), make_path_graph("AB")]
+        cache, isub, isuper = build_indexes(cached, True)
+        for entry in cache.entries():
+            assert isinstance(entry.compiled_target, CompiledTarget)
+            assert isinstance(entry.compiled_plan, CompiledQueryPlan)
+
+    def test_dict_mode_compiles_nothing(self):
+        cache, isub, isuper = build_indexes([make_cycle_graph("ABC")], False)
+        entry = next(cache.entries())
+        assert entry.compiled_target is None and entry.compiled_plan is None
+
+    def test_rebuild_reuses_compiled_state(self):
+        cache, isub, isuper = build_indexes([make_cycle_graph("ABCD")], True)
+        entry = next(cache.entries())
+        target, plan = entry.compiled_target, entry.compiled_plan
+        isub.rebuild(cache)
+        isuper.rebuild(cache)
+        assert entry.compiled_target is target  # same object — not recompiled
+        assert entry.compiled_plan is plan
+
+    def test_cache_eviction_releases_compiled_state(self):
+        cache, isub, isuper = build_indexes([make_cycle_graph("ABC")], True)
+        entry = cache.remove(next(cache.entries()).entry_id)
+        assert entry.compiled_target is None and entry.compiled_plan is None
+
+    def test_index_remove_releases_its_direction(self):
+        cache, isub, isuper = build_indexes([make_cycle_graph("ABC")], True)
+        entry = next(cache.entries())
+        isub.remove(entry.entry_id)
+        assert entry.compiled_target is None
+        assert entry.compiled_plan is not None  # Isuper still serves it
+        isuper.remove(entry.entry_id)
+        assert entry.compiled_plan is None
+
+
+def live_compiled_counts() -> tuple[int, int]:
+    """Process-wide live (CompiledTarget, CompiledQueryPlan) counts.
+
+    Other fixtures legitimately hold compiled objects, so the lifecycle
+    tests assert on *deltas* of these counts, not absolutes.
+    """
+    gc.collect()
+    targets = plans = 0
+    for obj in gc.get_objects():
+        if isinstance(obj, CompiledTarget):
+            targets += 1
+        elif isinstance(obj, CompiledQueryPlan):
+            plans += 1
+    return targets, plans
+
+
+class TestLifecycleRegression:
+    def test_steady_state_across_1k_insert_evict_cycles(self):
+        """Churning 1000 entries through a capacity-8 index pair must not
+        accumulate compiled objects or dense-slot positions."""
+        capacity = 8
+        targets_before, plans_before = live_compiled_counts()
+        cache = QueryCache()
+        isub = SubgraphQueryIndex()
+        isuper = SupergraphQueryIndex()
+        rng = random.Random(99)
+        live: list[int] = []
+        for cycle in range(1000):
+            graph = random_labeled_graph(rng, rng.randint(2, 4), 0.5, name=f"q{cycle}")
+            entry = cache.add(graph, EXTRACTOR.extract(graph), frozenset())
+            isub.add(entry)
+            isuper.add(entry)
+            live.append(entry.entry_id)
+            if len(live) > capacity:
+                victim = live.pop(0)
+                isub.remove(victim)
+                isuper.remove(victim)
+                cache.remove(victim)
+        assert len(isub) == len(isuper) == len(cache) == capacity
+        # The dense-slot allocators recycle freed positions: their footprint
+        # is the live capacity, not the 1000-entry history.
+        assert len(isub._slots._order) <= capacity + 1
+        assert len(isuper._slots._order) <= capacity + 1
+        # Only the live entries still hold compiled objects.
+        targets_after, plans_after = live_compiled_counts()
+        assert targets_after - targets_before <= capacity
+        assert plans_after - plans_before <= capacity
+
+    def test_maintenance_flush_keeps_compiled_state_bounded(self, small_synthetic):
+        """The engine's own windowed eviction path must release victims."""
+        database = small_synthetic
+        spec = WorkloadSpec(name="uniform", seed=3)
+        pool = QueryGenerator(database, spec).generate(10)
+        rng = random.Random(4)
+        targets_before, _ = live_compiled_counts()
+        method = create_method("ggsx", max_path_length=3)
+        engine = IGQ(method, cache_size=6, window_size=2)
+        engine.build_index(database)
+        for _ in range(60):
+            engine.query(rng.choice(pool))
+        targets_after, _ = live_compiled_counts()
+        # cache entries + dataset graphs (compiled lazily by the base
+        # method's verification) are the only legitimate holders
+        assert targets_after - targets_before <= len(engine.cache) + len(database)
