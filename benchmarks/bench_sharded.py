@@ -1,0 +1,200 @@
+"""Benchmark: sharded query cache vs the single-shard engine, CI-gated.
+
+End-to-end batch throughput of :class:`ShardedIGQ` on a churny cache-heavy
+Zipf stream, in three configurations over the *same* query stream:
+
+* ``shards=1`` — the A/B baseline (exactly the legacy engine: full shadow
+  rebuild of both component indexes at every window flush);
+* ``shards=N`` with the ``inline`` backend — in-process replicas fed by the
+  delta log, so a window flush costs one increment per windowed/evicted
+  entry instead of a full-capacity rebuild;
+* ``shards=N`` with the ``process`` backend (only when the machine has more
+  than one usable CPU) — one long-lived worker process per shard replaying
+  the log and probing its partition concurrently.
+
+The run **fails** if any sharded configuration diverges from the baseline
+anywhere — answers, per-query accounting, containment-test statistics,
+final cache contents or replacement metadata — or if the best sharded
+configuration's throughput falls below the gate (default 1.2x).  The
+maintenance gain is pure CPU work, so the gate holds even on single-core
+runners; multi-core runners add the parallel-probe gain on top.
+
+Run directly::
+
+    python benchmarks/bench_sharded.py --shards 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import ShardedIGQ  # noqa: E402
+from repro.core.batch import effective_cpu_count  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.methods import create_method  # noqa: E402
+from repro.workloads.generator import QueryGenerator, WorkloadSpec  # noqa: E402
+from repro.workloads.zipf import create_sampler  # noqa: E402
+
+
+def build_stream(database, args) -> list:
+    spec = WorkloadSpec(
+        name="zipf-zipf",
+        graph_distribution="zipf",
+        node_distribution="zipf",
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    pool = QueryGenerator(database, spec).generate(args.distinct)
+    rng = random.Random(args.seed + 1)
+    sampler = create_sampler("zipf", len(pool), alpha=args.alpha)
+    return [pool[sampler.sample(rng)] for _ in range(args.num_queries)]
+
+
+def fingerprint(engine, results) -> tuple:
+    """Everything the byte-identical gate compares."""
+    answers = [tuple(sorted(map(repr, result.answers))) for result in results]
+    accounting = [
+        (
+            result.num_isomorphism_tests,
+            result.num_sub_hits,
+            result.num_super_hits,
+            result.exact_hit,
+            result.verification_skipped,
+        )
+        for result in results
+    ]
+    cache_state = sorted(
+        (
+            entry.entry_id,
+            entry.graph.name,
+            tuple(sorted(map(repr, entry.answer))),
+            entry.hits,
+            entry.removed,
+            round(entry.alleviated_cost, 9),
+            entry.added_at,
+        )
+        for entry in engine.cache.entries()
+    )
+    igq_stats = engine.igq_verifier.stats
+    return (
+        answers,
+        accounting,
+        cache_state,
+        (igq_stats.tests, igq_stats.positives, igq_stats.negatives),
+    )
+
+
+def run_config(database, stream, args, shards: int, backend: str) -> dict:
+    method = create_method("ggsx", max_path_length=args.max_path_length)
+    engine = ShardedIGQ(
+        method,
+        shards=shards,
+        shard_backend=backend,
+        cache_size=args.cache_size,
+        window_size=args.window_size,
+    )
+    engine.build_index(database)
+    if backend == "process":
+        # Spin the shard workers up (and replay the empty log) before the
+        # clock starts, mirroring a deployed pool that is already running.
+        engine.shard_runtime.probe(stream[0], method.extract_query_features(stream[0]),
+                                   False, False)
+    start = time.perf_counter()
+    results = [engine.query(query) for query in stream]
+    elapsed = time.perf_counter() - start
+    outcome = {
+        "shards": shards,
+        "backend": engine.shard_backend,
+        "seconds": round(elapsed, 4),
+        "queries_per_second": round(len(stream) / elapsed, 2),
+        "fingerprint": fingerprint(engine, results),
+        "cache_entries": len(engine.cache),
+        "log_records": len(engine.delta_log) if engine.delta_log is not None else 0,
+    }
+    engine.close()
+    return outcome
+
+
+def run_benchmark(args) -> dict:
+    database = load_dataset(args.dataset, scale=args.scale)
+    stream = build_stream(database, args)
+    cpus = effective_cpu_count()
+
+    baseline = run_config(database, stream, args, shards=1, backend="inline")
+    configs = [run_config(database, stream, args, args.shards, "inline")]
+    if cpus > 1:
+        configs.append(run_config(database, stream, args, args.shards, "process"))
+
+    identical = all(c["fingerprint"] == baseline["fingerprint"] for c in configs)
+    best = max(configs, key=lambda c: c["queries_per_second"])
+    speedup = best["queries_per_second"] / baseline["queries_per_second"]
+
+    def public(config: dict) -> dict:
+        return {k: v for k, v in config.items() if k != "fingerprint"}
+
+    return {
+        "dataset": args.dataset,
+        "num_queries": len(stream),
+        "distinct_queries": args.distinct,
+        "cache_size": args.cache_size,
+        "window_size": args.window_size,
+        "alpha": args.alpha,
+        "effective_cpus": cpus,
+        "min_speedup_gate": args.min_speedup,
+        "baseline": public(baseline),
+        "sharded": [public(config) for config in configs],
+        "best_backend": best["backend"],
+        "sharded_speedup": round(speedup, 3),
+        "answers_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--dataset", default="synthetic")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--max-path-length", type=int, default=3)
+    parser.add_argument("--num-queries", type=int, default=400)
+    parser.add_argument("--distinct", type=int, default=400)
+    parser.add_argument("--cache-size", type=int, default=300)
+    parser.add_argument("--window-size", type=int, default=20)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--alpha", type=float, default=1.1)
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--min-speedup", type=float, default=1.2)
+    parser.add_argument("--output", default=None, help="write the JSON result here too")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    failed = False
+    if not result["answers_identical"]:
+        print(
+            "FAIL: a sharded configuration diverges from the single-shard engine",
+            file=sys.stderr,
+        )
+        failed = True
+    if result["sharded_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: sharded speedup {result['sharded_speedup']}x is below the "
+            f"{args.min_speedup}x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,11 +20,27 @@ from .replacement import (
     UtilityReplacementPolicy,
     create_policy,
 )
+from .shard import (
+    CacheDelta,
+    DeltaLog,
+    DeltaLogTruncated,
+    QueryIndexShard,
+    ShardedIGQ,
+    ShardEntry,
+    shard_of_key,
+)
 
 __all__ = [
     "IGQ",
     "IGQQueryResult",
     "QueryPlan",
+    "ShardedIGQ",
+    "CacheDelta",
+    "DeltaLog",
+    "DeltaLogTruncated",
+    "QueryIndexShard",
+    "ShardEntry",
+    "shard_of_key",
     "BatchExecutor",
     "BatchStats",
     "FeatureMemo",

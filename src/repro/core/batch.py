@@ -365,6 +365,7 @@ class BatchExecutor:
         self.stats = BatchStats()
         self._memo = FeatureMemo(self.method.extractor) if memoize_features else None
         self._pool: Executor | None = None
+        self._owns_pool = True
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -372,23 +373,39 @@ class BatchExecutor:
     def _ensure_pool(self) -> Executor:
         if self._pool is None:
             if self.backend == "process":
-                snapshot = self.method.verification_snapshot(
+                # A sharded engine with process-backed shards already keeps
+                # one long-lived worker per shard, each initialised with the
+                # method snapshot and subscribed to the cache delta log —
+                # verification chunks ride on those instead of a second pool.
+                runtime = getattr(self.engine, "shard_runtime", None)
+                shared = runtime.verify_pool() if runtime is not None else None
+                if shared is not None:
+                    self._pool = shared
+                    self._owns_pool = False
+                    return self._pool
+                payload = self.method.verification_payload(
                     supergraph=self.engine is not None and self.engine.mode == "supergraph"
                 )
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.num_workers,
                     initializer=_init_worker,
-                    initargs=(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL),),
+                    initargs=(payload,),
                 )
             else:
                 self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        A pool borrowed from the engine's shard runtime is left running —
+        its lifetime belongs to the engine.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            if self._owns_pool:
+                self._pool.shutdown(wait=True)
             self._pool = None
+            self._owns_pool = True
 
     def __enter__(self) -> "BatchExecutor":
         return self

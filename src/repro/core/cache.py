@@ -64,6 +64,14 @@ class CacheEntry:
         self.removed += removed
         self.alleviated_cost += alleviated_cost
 
+    def release_compiled_target(self) -> None:
+        """Drop the compiled target representation (idempotent)."""
+        self.compiled_target = None
+
+    def release_compiled_plan(self) -> None:
+        """Drop the compiled matching plan (idempotent)."""
+        self.compiled_plan = None
+
     def release_compiled(self) -> None:
         """Drop the compiled representations (eviction, index removal).
 
@@ -71,10 +79,16 @@ class CacheEntry:
         state on entry objects that outlive their index membership (the
         replacement policy, reports and tests keep references to evicted
         entries); releasing here keeps the steady-state number of live
-        compiled objects bounded by the cache capacity.
+        compiled objects bounded by the cache capacity.  Every path an entry
+        can leave service by funnels through these helpers — cache eviction
+        (:meth:`QueryCache.remove`), per-index removal
+        (:meth:`~repro.core.containment.ContainmentIndex.remove`), shadow
+        rebuilds that drop stale entries, and shard-replica evictions
+        (:meth:`~repro.core.shard.QueryIndexShard.apply`) — so a released
+        payload can never leak and releasing twice is a no-op.
         """
-        self.compiled_target = None
-        self.compiled_plan = None
+        self.release_compiled_target()
+        self.release_compiled_plan()
 
 
 class QueryCache:

@@ -76,6 +76,10 @@ class ContainmentIndex:
         #: dense bit positions for candidate bitmasks (raw entry ids are
         #: monotonic, so masks keyed by them would grow without bound)
         self._slots = DensePositions()
+        #: feature keys inserted per entry, so removal walks only the
+        #: entry's own keys instead of the whole trie — this is what makes
+        #: delta-applied (incremental) maintenance cheaper than a rebuild
+        self._feature_keys: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -90,8 +94,11 @@ class ContainmentIndex:
         """
         self._entries[entry.entry_id] = entry
         self._slots.add(entry.entry_id)
-        for key, count in entry.features.counts.items():
-            self._trie.insert(key, entry.entry_id, count)
+        keys = tuple(entry.features.counts)
+        self._feature_keys[entry.entry_id] = keys
+        counts = entry.features.counts
+        for key in keys:
+            self._trie.insert(key, entry.entry_id, counts[key])
         if self.use_compiled():
             self._compile_entry(entry)
         self._entry_added(entry)
@@ -102,7 +109,8 @@ class ContainmentIndex:
         if entry is None:
             return
         self._slots.remove(entry_id)
-        self._trie.remove_graph(entry_id)
+        for key in self._feature_keys.pop(entry_id, ()):
+            self._trie.remove_posting(key, entry_id)
         self._release_entry(entry)
         self._entry_removed(entry_id)
 
@@ -112,16 +120,28 @@ class ContainmentIndex:
         This is the "shadow index" construction of §5.2: the caller builds a
         fresh index and swaps it in, so queries keep being served while the
         rebuild is in progress.  Entries surviving the rebuild keep their
-        compiled state (it depends only on the entry's immutable graph);
-        evicted entries were already released by
-        :meth:`~repro.core.cache.QueryCache.remove`.
+        compiled state (it depends only on the entry's immutable graph).
+
+        Entries that were indexed here but are no longer in ``cache`` are
+        dropped by the rebuild; their compiled state for *this* direction is
+        released explicitly — entries evicted through
+        :meth:`~repro.core.cache.QueryCache.remove` were already released
+        (releasing again is a no-op), but a rebuild against a cache that
+        dropped entries some other way must not strand compiled payloads on
+        the unreachable entry objects.
         """
+        dropped = [
+            entry for entry_id, entry in self._entries.items() if entry_id not in cache
+        ]
         self._trie = FeatureTrie()
         self._entries = {}
         self._slots.reset()
+        self._feature_keys = {}
         self._store_reset()
         for entry in cache.entries():
             self.add(entry)
+        for entry in dropped:
+            self._release_entry(entry)
 
     # ------------------------------------------------------------------
     # Direction-specific hooks
@@ -151,14 +171,19 @@ class ContainmentIndex:
 
     def _release_entry(self, entry: CacheEntry) -> None:
         if self.entry_is_target:
-            entry.compiled_target = None
+            entry.release_compiled_target()
         else:
-            entry.compiled_plan = None
+            entry.release_compiled_plan()
 
     # ------------------------------------------------------------------
     # Verification dispatch
     # ------------------------------------------------------------------
-    def _verified_hits(self, query: LabeledGraph, candidate_mask: int) -> list[CacheEntry]:
+    def _verified_hits(
+        self,
+        query: LabeledGraph,
+        candidate_mask: int,
+        query_side_cache: dict | None = None,
+    ) -> list[CacheEntry]:
         """Verify the candidates of ``candidate_mask`` against ``query``.
 
         Applies the direction's size pre-checks (not counted as tests, as
@@ -166,18 +191,22 @@ class ContainmentIndex:
         through the compiled kernel when enabled, through the graph-based
         matcher otherwise.  The query-side compiled representation (plan for
         ``Isub``, target for ``Isuper``) is built lazily on the first pair
-        and shared by the whole lookup.  (The dataset verification stage
-        compiles the same query's plan again in its own layer; that
-        duplicate is one O(|query|) compile per query — microseconds — and
-        threading the object across the method interface is not worth the
-        coupling.)
+        and shared by the whole lookup; a caller probing several same-
+        direction indexes for one query (the sharded runtime) passes a
+        ``query_side_cache`` dict so the compile happens once across all of
+        them.  (The dataset verification stage compiles the same query's
+        plan again in its own layer; that duplicate is one O(|query|)
+        compile per query — microseconds — and threading the object across
+        the method interface is not worth the coupling.)
         """
         verifier = self.verifier
         compiled = self.use_compiled()
         query_num_vertices = query.num_vertices
         query_num_edges = query.num_edges
         entry_is_target = self.entry_is_target
-        query_side = None
+        query_side = (
+            query_side_cache.get("query_side") if query_side_cache is not None else None
+        )
         results = []
         for entry_id in self._slots.keys_of(candidate_mask):
             entry = self._entries[entry_id]
@@ -196,6 +225,8 @@ class ContainmentIndex:
                 if entry_is_target:
                     if query_side is None:
                         query_side = compile_query_plan(query)
+                        if query_side_cache is not None:
+                            query_side_cache["query_side"] = query_side
                     target = entry.compiled_target
                     if target is None:
                         # Entry indexed while the compiled path was off (an
@@ -206,6 +237,8 @@ class ContainmentIndex:
                 else:
                     if query_side is None:
                         query_side = compile_target(query)
+                        if query_side_cache is not None:
+                            query_side_cache["query_side"] = query_side
                     plan = entry.compiled_plan
                     if plan is None:
                         plan = compile_query_plan(graph)

@@ -161,6 +161,7 @@ class IGQ:
         if isinstance(policy, str):
             policy = create_policy(policy)
         self._igq_verifier = igq_verifier if igq_verifier is not None else Verifier()
+        self.igq_compiled = igq_compiled
         self.cache = QueryCache()
         self.isub = (
             SubgraphQueryIndex(self._igq_verifier, compiled=igq_compiled)
@@ -292,12 +293,7 @@ class IGQ:
 
         # Stage 2 — the two iGQ components (Figure 6, threads 2 and 3).
         start = time.perf_counter()
-        sub_hits = (
-            self.isub.find_supergraphs(query, features) if self.isub is not None else []
-        )
-        super_hits = (
-            self.isuper.find_subgraphs(query, features) if self.isuper is not None else []
-        )
+        sub_hits, super_hits = self._component_hits(query, features)
         exact_entry = self._find_exact(query, sub_hits, super_hits)
 
         if supergraph:
@@ -338,6 +334,24 @@ class IGQ:
             filter_seconds=filter_seconds,
             igq_seconds=igq_seconds,
         )
+
+    def _component_hits(
+        self, query: LabeledGraph, features: GraphFeatures
+    ) -> tuple[list[CacheEntry], list[CacheEntry]]:
+        """Stage-2 component lookups: ``(Isub(g), Isuper(g))`` hit lists.
+
+        The single-shard engine consults its two in-process indexes; the
+        sharded engine (:class:`repro.core.shard.ShardedIGQ`) overrides this
+        to fan the probe out across its shard replicas and merge the hits
+        back into the global insertion order.
+        """
+        sub_hits = (
+            self.isub.find_supergraphs(query, features) if self.isub is not None else []
+        )
+        super_hits = (
+            self.isuper.find_subgraphs(query, features) if self.isuper is not None else []
+        )
+        return sub_hits, super_hits
 
     def apply_plan_credits(self, plan: QueryPlan) -> None:
         """Apply the deferred §5.1 metadata update of a ``credit=False`` plan.
@@ -508,10 +522,19 @@ class IGQ:
         )
         if not window_full:
             return None
-        report = self.maintenance.flush(self.cache, self.isub, self.isuper)
+        report = self._flush_window()
         # The flush evicted and inserted entries; drop the memoised masks.
         self._answer_masks.clear()
         return report
+
+    def _flush_window(self) -> MaintenanceReport:
+        """Apply a full query window to the cache and the component indexes.
+
+        The single-shard engine performs the §5.2 shadow rebuild through
+        :class:`IndexMaintenance`; the sharded engine overrides this to emit
+        ordered :class:`~repro.core.shard.CacheDelta` records instead.
+        """
+        return self.maintenance.flush(self.cache, self.isub, self.isuper)
 
     # ------------------------------------------------------------------
     # Batched execution

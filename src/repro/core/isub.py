@@ -41,7 +41,10 @@ class SubgraphQueryIndex(ContainmentIndex):
     # Query
     # ------------------------------------------------------------------
     def find_supergraphs(
-        self, query: LabeledGraph, features: GraphFeatures
+        self,
+        query: LabeledGraph,
+        features: GraphFeatures,
+        query_side_cache: dict | None = None,
     ) -> list[CacheEntry]:
         """Return the cached entries ``G`` with ``query ⊆ G`` (``Isub(g)``).
 
@@ -49,7 +52,8 @@ class SubgraphQueryIndex(ContainmentIndex):
         contains every feature of ``query`` at least as often (the exact
         dual of the dataset-side filtering).  Each surviving candidate is
         verified with a subgraph isomorphism test, so no false positives are
-        possible (formula (1)).
+        possible (formula (1)).  ``query_side_cache`` lets a sharded probe
+        share the query's compiled plan across several index partitions.
         """
         if not self._entries:
             return []
@@ -71,4 +75,4 @@ class SubgraphQueryIndex(ContainmentIndex):
                 return []
         if candidate_mask is None:
             candidate_mask = self._full_mask()
-        return self._verified_hits(query, candidate_mask)
+        return self._verified_hits(query, candidate_mask, query_side_cache)

@@ -89,12 +89,19 @@ class SupergraphQueryIndex(ContainmentIndex):
         return mask
 
     def find_subgraphs(
-        self, query: LabeledGraph, features: GraphFeatures
+        self,
+        query: LabeledGraph,
+        features: GraphFeatures,
+        query_side_cache: dict | None = None,
     ) -> list[CacheEntry]:
-        """Return the cached entries ``G`` with ``G ⊆ query`` (``Isuper(g)``)."""
+        """Return the cached entries ``G`` with ``G ⊆ query`` (``Isuper(g)``).
+
+        ``query_side_cache`` lets a sharded probe share the query's compiled
+        target across several index partitions.
+        """
         if not self._entries:
             return []
-        return self._verified_hits(query, self.candidate_mask(features))
+        return self._verified_hits(query, self.candidate_mask(features), query_side_cache)
 
     # ------------------------------------------------------------------
     def num_features(self, entry_id: int) -> int:

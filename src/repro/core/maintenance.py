@@ -88,6 +88,29 @@ class IndexMaintenance:
         self._window.append(pending)
         return len(self._window) >= self.window_size
 
+    def drain_window(self) -> list[PendingQuery]:
+        """Take (and clear) the windowed queries.
+
+        Used by flush implementations that apply the window themselves —
+        the sharded engine turns it into delta-log records instead of the
+        in-place rebuild below.
+        """
+        window = self._window
+        self._window = []
+        return window
+
+    def select_evictions(self, cache: QueryCache, incoming: int) -> list[int]:
+        """Victim entry ids for absorbing ``incoming`` insertions.
+
+        Exactly the capacity rule of :meth:`flush`: evict only as many
+        lowest-utility entries as needed to respect ``C`` after the
+        insertions; none while the cache is still warming up.
+        """
+        overflow = len(cache) + incoming - self.cache_size
+        if overflow <= 0:
+            return []
+        return self.policy.select_victims(cache, overflow)
+
     def flush(
         self,
         cache: QueryCache,
@@ -104,14 +127,13 @@ class IndexMaintenance:
         if not self._window:
             report.cache_size_after = len(cache)
             return report
-        overflow = len(cache) + len(self._window) - self.cache_size
-        if overflow > 0:
-            victims = self.policy.select_victims(cache, overflow)
-            for entry_id in victims:
-                cache.remove(entry_id)
-            report.evicted = len(victims)
-            report.evicted_entry_ids = victims
-        for pending in self._window:
+        window = self.drain_window()
+        victims = self.select_evictions(cache, len(window))
+        for entry_id in victims:
+            cache.remove(entry_id)
+        report.evicted = len(victims)
+        report.evicted_entry_ids = victims
+        for pending in window:
             cache.add(
                 pending.graph,
                 pending.features,
@@ -119,7 +141,6 @@ class IndexMaintenance:
                 tags=pending.tags,
             )
             report.inserted += 1
-        self._window = []
         # Shadow-index rebuild over the updated graph store, then swap.
         if isub is not None:
             isub.rebuild(cache)

@@ -1,0 +1,914 @@
+"""Sharded query cache with delta-replicated compiled state.
+
+The single-shard engine keeps the whole query index — cache entries, the two
+containment indexes, and every per-entry compiled payload — in one process,
+and worker pools only ever receive a one-shot immutable snapshot of the
+*dataset* state.  That is fine while the query-index state never leaves the
+parent, but it blocks two scaling moves the ROADMAP asks for: probing the
+(CPU-heavy) containment indexes concurrently, and eventually serving the
+cache from separate processes or machines.  This module supplies both in one
+architecture:
+
+* **Partitioning** — the cached queries are split across ``N`` shards by a
+  stable hash of their canonical form (:func:`shard_of_key`), so an entry's
+  owning shard is a pure function of its graph: routing never changes under
+  insert/evict churn and is identical in every process that computes it.
+
+* **Delta replication** — shards are kept coherent through an ordered
+  :class:`DeltaLog` of :class:`CacheDelta` records (``insert`` / ``evict`` /
+  ``flush``).  Insert deltas carry the *already compiled*
+  ``CompiledTarget``/``CompiledQueryPlan`` payloads built once in the
+  parent, so a shard never recompiles an entry; ``flush`` markers carry a
+  monotonically increasing *epoch* (one per window flush), so a replica that
+  missed any number of flushes simply replays the log tail instead of being
+  re-snapshotted.  A replica older than the log's compaction floor resets
+  and replays from the beginning — the only case that degenerates to a
+  rebuild.
+
+* **Execution** — :class:`ShardedIGQ` is a drop-in :class:`IGQ` engine.
+  With ``shards=1`` it *is* today's engine (the A/B baseline: same code
+  paths, no delta log).  With ``shards>1`` the window flush emits deltas and
+  applies them incrementally (no shadow rebuild of the full cache — flush
+  cost is proportional to the window, not the capacity), and every probe
+  fans out across the shards: in-process replicas under the ``inline``
+  backend, or one long-lived single-worker process per shard under the
+  ``process`` backend, where each worker subscribes to the delta log —
+  pending records ride along with the next probe — and doubles as a
+  verification worker for the batch executor (its one-shot snapshot now
+  carries only dataset state).  Answers, hit/miss accounting and replacement
+  state are byte-identical across all of these configurations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from bisect import bisect_right
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..features.canonical import canonical_graph_key
+from ..features.extractor import GraphFeatures
+from ..graphs.graph import LabeledGraph
+from ..isomorphism.compiled import compile_query_plan, compile_target
+from ..isomorphism.verifier import Verifier
+from .batch import _init_worker, effective_cpu_count
+from .cache import CacheEntry
+from .engine import IGQ
+from .isub import SubgraphQueryIndex
+from .isuper import SupergraphQueryIndex
+from .maintenance import MaintenanceReport
+
+__all__ = [
+    "SHARD_BACKENDS",
+    "DELTA_INSERT",
+    "DELTA_EVICT",
+    "DELTA_FLUSH",
+    "CacheDelta",
+    "DeltaLog",
+    "DeltaLogTruncated",
+    "ShardEntry",
+    "QueryIndexShard",
+    "ShardVerifyPool",
+    "ShardedIGQ",
+    "shard_of_key",
+]
+
+#: accepted ``shard_backend`` values; ``"auto"`` resolves to ``"process"``
+#: when the machine can actually run the shard workers concurrently and to
+#: ``"inline"`` otherwise
+SHARD_BACKENDS = ("auto", "inline", "process")
+
+DELTA_INSERT = "insert"
+DELTA_EVICT = "evict"
+DELTA_FLUSH = "flush"
+
+#: ``CacheDelta.shard`` value of flush markers, which address every shard
+BROADCAST = -1
+
+
+def shard_of_key(key: tuple, num_shards: int) -> int:
+    """Owning shard of a canonical graph key — stable across processes.
+
+    Built-in ``hash`` is salted per interpreter, so replicas in different
+    processes could disagree; a keyed-less BLAKE2 digest of the key's
+    canonical repr is deterministic everywhere.
+    """
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+@dataclass
+class ShardEntry:
+    """Replica-side view of one cached query: what a shard needs to probe.
+
+    Deliberately *not* the full :class:`~repro.core.cache.CacheEntry` — the
+    answer set and the §5.1 replacement metadata stay authoritative in the
+    parent (shards return entry ids, the parent credits its own entries), so
+    a delta ships only the graph, its features and the compiled payloads.
+    Inside the parent process the referenced objects are shared with the
+    cache entry; across a process boundary pickling copies them once.
+    """
+
+    entry_id: int
+    graph: LabeledGraph
+    features: GraphFeatures
+    compiled_target: object | None = None
+    compiled_plan: object | None = None
+
+    # The containment indexes manage compiled state through these hooks
+    # (same protocol as CacheEntry), so replicas release exactly like the
+    # parent-side entries do.
+    def release_compiled_target(self) -> None:
+        self.compiled_target = None
+
+    def release_compiled_plan(self) -> None:
+        self.compiled_plan = None
+
+    def release_compiled(self) -> None:
+        self.release_compiled_target()
+        self.release_compiled_plan()
+
+
+@dataclass(frozen=True)
+class CacheDelta:
+    """One ordered replication record of the sharded query cache."""
+
+    #: global log sequence number (1-based, dense)
+    version: int
+    #: window-flush generation the record belongs to
+    epoch: int
+    #: one of :data:`DELTA_INSERT` / :data:`DELTA_EVICT` / :data:`DELTA_FLUSH`
+    op: str
+    #: owning shard, or :data:`BROADCAST` for flush markers
+    shard: int
+    entry_id: int | None = None
+    entry: ShardEntry | None = None
+
+
+class DeltaLogTruncated(RuntimeError):
+    """A subscriber asked for records older than the compaction floor."""
+
+
+class DeltaLog:
+    """Ordered, compactable log of :class:`CacheDelta` records.
+
+    ``version`` increases by one per record; ``epoch`` increases by one per
+    ``flush`` marker.  :meth:`compact` folds a fully-acknowledged prefix
+    into its net effect (the inserts still live at the horizon, with their
+    original versions), so the log stays bounded on long streams while a
+    fresh replica can still bootstrap by replaying from version 0.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[CacheDelta] = []
+        self._version = 0
+        self._epoch = 0
+        self._floor_version = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Version of the newest record (0 for an empty log)."""
+        return self._version
+
+    @property
+    def epoch(self) -> int:
+        """Current flush generation."""
+        return self._epoch
+
+    @property
+    def floor_version(self) -> int:
+        """Oldest version a non-fresh subscriber may still replay from."""
+        return self._floor_version
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def append_insert(self, shard: int, entry: ShardEntry) -> CacheDelta:
+        """Record that ``entry`` entered the cache, owned by ``shard``."""
+        return self._append(
+            CacheDelta(
+                version=self._version + 1,
+                epoch=self._epoch,
+                op=DELTA_INSERT,
+                shard=shard,
+                entry_id=entry.entry_id,
+                entry=entry,
+            )
+        )
+
+    def append_evict(self, shard: int, entry_id: int) -> CacheDelta:
+        """Record that the entry ``entry_id`` left the cache."""
+        return self._append(
+            CacheDelta(
+                version=self._version + 1,
+                epoch=self._epoch,
+                op=DELTA_EVICT,
+                shard=shard,
+                entry_id=entry_id,
+            )
+        )
+
+    def append_flush(self) -> CacheDelta:
+        """Close the current flush generation with an epoch marker."""
+        self._epoch += 1
+        return self._append(
+            CacheDelta(
+                version=self._version + 1,
+                epoch=self._epoch,
+                op=DELTA_FLUSH,
+                shard=BROADCAST,
+            )
+        )
+
+    def _append(self, record: CacheDelta) -> CacheDelta:
+        self._records.append(record)
+        self._version = record.version
+        return record
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def since(self, version: int, shard: int | None = None) -> list[CacheDelta]:
+        """Records after ``version``, oldest first.
+
+        ``shard`` filters to one shard's inserts/evicts plus every flush
+        marker (markers are broadcast so each replica tracks the epoch).
+        ``version=0`` always means "bootstrap from scratch" and is valid on
+        a compacted log — the retained prefix is the net state.  Any other
+        version below the compaction floor raises :class:`DeltaLogTruncated`
+        (the subscriber may hold entries whose eviction records were folded
+        away, so replaying the tail cannot repair it).
+        """
+        if 0 < version < self._floor_version:
+            raise DeltaLogTruncated(
+                f"version {version} predates the compaction floor "
+                f"{self._floor_version}; reset and replay from 0"
+            )
+        if version >= self._version:
+            # The common steady-state case — a subscriber probing between
+            # flushes has nothing to replay; skip the scan entirely.
+            return []
+        # Records are version-sorted, so the tail starts at a bisect.
+        start = bisect_right(self._records, version, key=lambda record: record.version)
+        records = self._records[start:]
+        if shard is None:
+            return records
+        return [
+            record
+            for record in records
+            if record.shard == shard or record.op == DELTA_FLUSH
+        ]
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self, up_to_version: int) -> int:
+        """Fold every record up to ``up_to_version`` into its net effect.
+
+        Only call with a version every subscriber has already applied (the
+        sharded engine uses the minimum shipped version).  Insert records
+        whose entry is still live at the horizon are retained with their
+        original versions; matched insert/evict pairs and flush markers in
+        the prefix are dropped.  Returns the number of records removed.
+        """
+        up_to_version = min(up_to_version, self._version)
+        if up_to_version <= self._floor_version:
+            return 0
+        live: dict[int, CacheDelta] = {}
+        suffix: list[CacheDelta] = []
+        for record in self._records:
+            if record.version > up_to_version:
+                suffix.append(record)
+            elif record.op == DELTA_INSERT:
+                live[record.entry_id] = record
+            elif record.op == DELTA_EVICT:
+                live.pop(record.entry_id, None)
+        removed = len(self._records) - len(live) - len(suffix)
+        self._records = sorted(live.values(), key=lambda r: r.version) + suffix
+        self._floor_version = up_to_version
+        return removed
+
+
+class QueryIndexShard:
+    """One replica: a partition of the query index, driven by the delta log.
+
+    Holds the same two containment indexes the single-shard engine uses,
+    restricted to the entries routed to this shard, plus the replication
+    cursor (``applied_version``/``epoch``).  Lives either in the parent
+    process (inline backend) or inside a dedicated worker process.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        verifier: Verifier | None = None,
+        compiled: bool = True,
+        enable_isub: bool = True,
+        enable_isuper: bool = True,
+    ) -> None:
+        self.shard_id = shard_id
+        self.verifier = verifier if verifier is not None else Verifier()
+        self.compiled = compiled
+        self.enable_isub = enable_isub
+        self.enable_isuper = enable_isuper
+        self.applied_version = 0
+        self.epoch = 0
+        self._entries: dict[int, ShardEntry] = {}
+        self._make_indexes()
+
+    def _make_indexes(self) -> None:
+        self.isub = (
+            SubgraphQueryIndex(self.verifier, compiled=self.compiled)
+            if self.enable_isub
+            else None
+        )
+        self.isuper = (
+            SupergraphQueryIndex(self.verifier, compiled=self.compiled)
+            if self.enable_isuper
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+    def apply(self, delta: CacheDelta) -> None:
+        """Apply one delta; records must arrive in increasing version order."""
+        if delta.version <= self.applied_version:
+            raise ValueError(
+                f"shard {self.shard_id} at version {self.applied_version} "
+                f"received stale delta {delta.version}"
+            )
+        if delta.op == DELTA_FLUSH:
+            self.epoch = delta.epoch
+        elif delta.op == DELTA_INSERT:
+            if delta.shard != self.shard_id:
+                raise ValueError(
+                    f"delta for shard {delta.shard} misrouted to shard {self.shard_id}"
+                )
+            entry = delta.entry
+            self._entries[entry.entry_id] = entry
+            if self.isub is not None:
+                self.isub.add(entry)
+            if self.isuper is not None:
+                self.isuper.add(entry)
+        elif delta.op == DELTA_EVICT:
+            entry = self._entries.pop(delta.entry_id, None)
+            if entry is None:
+                raise ValueError(
+                    f"shard {self.shard_id} cannot evict unknown entry {delta.entry_id}"
+                )
+            if self.isub is not None:
+                self.isub.remove(entry.entry_id)
+            if self.isuper is not None:
+                self.isuper.remove(entry.entry_id)
+            # A disabled index would leave its direction unreleased.
+            entry.release_compiled()
+        else:
+            raise ValueError(f"unknown delta op {delta.op!r}")
+        self.applied_version = delta.version
+
+    def catch_up(self, log: DeltaLog) -> int:
+        """Replay every missed record; returns the number applied.
+
+        A replica that fell behind the log's compaction floor resets and
+        replays the retained net state from version 0 — the re-snapshot
+        fallback; every younger replica replays only the tail, however many
+        window flushes it missed.
+        """
+        try:
+            deltas = log.since(self.applied_version, shard=self.shard_id)
+        except DeltaLogTruncated:
+            self.reset()
+            deltas = log.since(0, shard=self.shard_id)
+        for delta in deltas:
+            self.apply(delta)
+        return len(deltas)
+
+    def reset(self) -> None:
+        """Drop all replica state (compiled payloads released)."""
+        for entry in self._entries.values():
+            entry.release_compiled()
+        self._entries = {}
+        self.applied_version = 0
+        self.epoch = 0
+        self._make_indexes()
+
+    # ------------------------------------------------------------------
+    # Probes
+    # ------------------------------------------------------------------
+    def find_supergraph_ids(
+        self,
+        query: LabeledGraph,
+        features: GraphFeatures,
+        query_side_cache: dict | None = None,
+    ) -> list[int]:
+        """Entry ids of this shard's ``Isub`` hits (local order)."""
+        if self.isub is None or not self._entries:
+            return []
+        return [
+            entry.entry_id
+            for entry in self.isub.find_supergraphs(query, features, query_side_cache)
+        ]
+
+    def find_subgraph_ids(
+        self,
+        query: LabeledGraph,
+        features: GraphFeatures,
+        query_side_cache: dict | None = None,
+    ) -> list[int]:
+        """Entry ids of this shard's ``Isuper`` hits (local order)."""
+        if self.isuper is None or not self._entries:
+            return []
+        return [
+            entry.entry_id
+            for entry in self.isuper.find_subgraphs(query, features, query_side_cache)
+        ]
+
+    def entry_ids(self) -> list[int]:
+        """Ids of the entries this replica currently serves."""
+        return sorted(self._entries)
+
+    def estimated_size_bytes(self) -> int:
+        """Approximate index-structure size of this shard (Figure 18)."""
+        total = 0
+        if self.isub is not None:
+            total += self.isub.estimated_size_bytes()
+        if self.isuper is not None:
+            total += self.isuper.estimated_size_bytes()
+        return total
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryIndexShard id={self.shard_id} entries={len(self._entries)} "
+            f"version={self.applied_version} epoch={self.epoch}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side state (process backend)
+# ----------------------------------------------------------------------
+#: per-process shard replica, installed by the pool initializer
+_WORKER_SHARD: QueryIndexShard | None = None
+
+
+def _init_shard_worker(payload: bytes) -> None:
+    global _WORKER_SHARD
+    config = pickle.loads(payload)
+    _WORKER_SHARD = QueryIndexShard(
+        config["shard_id"],
+        verifier=config["verifier"],
+        compiled=config["compiled"],
+        enable_isub=config["enable_isub"],
+        enable_isuper=config["enable_isuper"],
+    )
+    # The same long-lived process also serves dataset verification chunks
+    # for the batch executor, so install the method snapshot the way the
+    # executor's own pool initializer would.
+    if config["method_payload"] is not None:
+        _init_worker(config["method_payload"])
+
+
+def _shard_probe(
+    deltas: list[CacheDelta],
+    reset: bool,
+    query: LabeledGraph,
+    features: GraphFeatures,
+    want_sub: bool,
+    want_super: bool,
+) -> tuple[list[int], list[int], int, int, list[float], int]:
+    """Worker entry point: catch up on the log tail, then probe.
+
+    Returns the two hit-id lists plus the verifier-stat deltas of the probe
+    (positives, negatives, per-test samples — folded back by the parent so
+    the §4 containment-test accounting stays byte-identical to the inline
+    path) and the replica's applied version.
+    """
+    shard = _WORKER_SHARD
+    if reset:
+        shard.reset()
+    for delta in deltas:
+        shard.apply(delta)
+    stats = shard.verifier.stats
+    positives, negatives = stats.positives, stats.negatives
+    samples_before = len(stats.per_test_seconds)
+    sub_ids = shard.find_supergraph_ids(query, features) if want_sub else []
+    super_ids = shard.find_subgraph_ids(query, features) if want_super else []
+    samples = stats.per_test_seconds[samples_before:]
+    del stats.per_test_seconds[samples_before:]
+    return (
+        sub_ids,
+        super_ids,
+        stats.positives - positives,
+        stats.negatives - negatives,
+        samples,
+        shard.applied_version,
+    )
+
+
+class ShardVerifyPool:
+    """Executor facade spreading verification chunks over the shard pools.
+
+    The batch executor talks to one object with ``submit``; routing is a
+    deterministic round-robin over the per-shard single-worker pools, whose
+    processes already hold the method snapshot.  Lifetime belongs to the
+    engine's runtime, so ``shutdown`` is a no-op.
+
+    Trade-off: probes and verification chunks share the same single-worker
+    queues, so with ``pipeline=True`` the speculative probe of query *i+1*
+    waits behind query *i*'s verification chunks — the planner overlap of
+    the single-shard process pool does not materialise here.  Results and
+    accounting are unaffected; workloads that need both the overlap and
+    sharded probing should give the executor its own pool
+    (``shard_backend="inline"`` plus a process-backed executor).
+    """
+
+    def __init__(self, pools: list[ProcessPoolExecutor]) -> None:
+        self._pools = pools
+        self._next = 0
+
+    def submit(self, fn, /, *args, **kwargs):
+        pool = self._pools[self._next]
+        self._next = (self._next + 1) % len(self._pools)
+        return pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """No-op: the owning :class:`ShardedIGQ` closes the real pools."""
+
+
+class _InlineShardRuntime:
+    """Shard replicas living in the parent process.
+
+    Probes run serially and count on the parent's iGQ verifier directly;
+    replication is synchronous (replicas catch up at the end of each
+    flush), so this backend isolates the *incremental maintenance* gain —
+    and is the 1-CPU fallback of ``shard_backend="auto"``.
+    """
+
+    uses_processes = False
+
+    def __init__(self, engine: "ShardedIGQ") -> None:
+        self.shards = [
+            QueryIndexShard(
+                shard_id,
+                verifier=engine.igq_verifier,
+                compiled=engine.igq_compiled,
+                enable_isub=engine.probe_isub,
+                enable_isuper=engine.probe_isuper,
+            )
+            for shard_id in range(engine.num_shards)
+        ]
+
+    def probe(
+        self,
+        query: LabeledGraph,
+        features: GraphFeatures,
+        want_sub: bool,
+        want_super: bool,
+    ) -> tuple[list[int], list[int]]:
+        sub_ids: list[int] = []
+        super_ids: list[int] = []
+        # The query-side compiled form (plan for Isub, target for Isuper) is
+        # shared across the partitions: compiled lazily by the first shard
+        # that needs it, reused by the rest — exactly one compile per
+        # direction per probe, like the single-shard lookup.
+        sub_side: dict = {}
+        super_side: dict = {}
+        for shard in self.shards:
+            if want_sub:
+                sub_ids.extend(shard.find_supergraph_ids(query, features, sub_side))
+            if want_super:
+                super_ids.extend(shard.find_subgraph_ids(query, features, super_side))
+        return sub_ids, super_ids
+
+    def sync(self, log: DeltaLog) -> None:
+        for shard in self.shards:
+            shard.catch_up(log)
+
+    def progress(self) -> int:
+        return min(shard.applied_version for shard in self.shards)
+
+    def verify_pool(self) -> ShardVerifyPool | None:
+        return None
+
+    def estimated_size_bytes(self) -> int:
+        return sum(shard.estimated_size_bytes() for shard in self.shards)
+
+    def close(self) -> None:
+        """Nothing to release for in-process replicas."""
+
+
+class _ProcessShardRuntime:
+    """One long-lived single-worker process per shard, fed by the delta log.
+
+    Tasks submitted to a single-worker pool execute in order, so the parent
+    ships each shard the log tail it has not yet seen together with the
+    next probe — no acknowledgement round-trip is needed, and a worker that
+    missed several window flushes replays them before probing.  The worker
+    processes double as dataset-verification workers for the batch executor
+    (:meth:`verify_pool`).
+    """
+
+    uses_processes = True
+
+    def __init__(self, engine: "ShardedIGQ") -> None:
+        self._engine = engine
+        self._pools: list[ProcessPoolExecutor] | None = None
+        self._shipped = [0] * engine.num_shards
+        self._needs_reset = [False] * engine.num_shards
+
+    # ------------------------------------------------------------------
+    def _ensure_pools(self) -> list[ProcessPoolExecutor]:
+        if self._pools is None:
+            engine = self._engine
+            method_payload = None
+            if engine.method.database is not None:
+                method_payload = engine.method.verification_payload(
+                    supergraph=engine.mode == "supergraph"
+                )
+            verifier = engine.igq_verifier.fresh_clone()
+            self._pools = []
+            for shard_id in range(engine.num_shards):
+                payload = pickle.dumps(
+                    {
+                        "shard_id": shard_id,
+                        "verifier": verifier,
+                        "compiled": engine.igq_compiled,
+                        "enable_isub": engine.probe_isub,
+                        "enable_isuper": engine.probe_isuper,
+                        "method_payload": method_payload,
+                    },
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                self._pools.append(
+                    ProcessPoolExecutor(
+                        max_workers=1,
+                        initializer=_init_shard_worker,
+                        initargs=(payload,),
+                    )
+                )
+        return self._pools
+
+    def probe(
+        self,
+        query: LabeledGraph,
+        features: GraphFeatures,
+        want_sub: bool,
+        want_super: bool,
+    ) -> tuple[list[int], list[int]]:
+        pools = self._ensure_pools()
+        log = self._engine.delta_log
+        futures = []
+        for shard_id, pool in enumerate(pools):
+            reset = self._needs_reset[shard_id]
+            try:
+                deltas = log.since(self._shipped[shard_id], shard=shard_id)
+            except DeltaLogTruncated:
+                reset = True
+                deltas = log.since(0, shard=shard_id)
+            self._shipped[shard_id] = log.version
+            self._needs_reset[shard_id] = False
+            futures.append(
+                pool.submit(
+                    _shard_probe, deltas, reset, query, features, want_sub, want_super
+                )
+            )
+        sub_ids: list[int] = []
+        super_ids: list[int] = []
+        stats = self._engine.igq_verifier.stats
+        try:
+            for future in futures:
+                shard_sub, shard_super, positives, negatives, samples, _ = future.result()
+                sub_ids.extend(shard_sub)
+                super_ids.extend(shard_super)
+                stats.tests += len(samples)
+                stats.positives += positives
+                stats.negatives += negatives
+                stats.total_seconds += sum(samples)
+                stats.per_test_seconds.extend(samples)
+        except BaseException:
+            # The deltas were optimistically marked shipped at submit time;
+            # if any worker failed we can no longer tell which replicas
+            # applied them, so force a reset-and-replay on the next probe
+            # instead of silently serving from a desynced partition.
+            self._shipped = [0] * self._engine.num_shards
+            self._needs_reset = [True] * self._engine.num_shards
+            raise
+        return sub_ids, super_ids
+
+    def sync(self, log: DeltaLog) -> None:
+        """Replication is lazy: pending records ship with the next probe."""
+
+    def progress(self) -> int:
+        return min(self._shipped)
+
+    def verify_pool(self) -> ShardVerifyPool | None:
+        return ShardVerifyPool(self._ensure_pools())
+
+    def estimated_size_bytes(self) -> int:
+        """Replica tries live in the workers; report only parent-side state."""
+        return 0
+
+    def close(self) -> None:
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+            self._pools = None
+            self._shipped = [0] * self._engine.num_shards
+            self._needs_reset = [True] * self._engine.num_shards
+
+
+class ShardedIGQ(IGQ):
+    """iGQ engine whose query index is partitioned across delta-fed shards.
+
+    Parameters (on top of :class:`IGQ`'s)
+    -------------------------------------
+    shards:
+        Number of cache partitions.  ``1`` (the default) is the A/B
+        baseline: the engine behaves exactly like :class:`IGQ` — same code
+        paths, no delta log.
+    shard_backend:
+        One of :data:`SHARD_BACKENDS`.  ``"inline"`` keeps the replicas in
+        the parent process (incremental delta maintenance, serial probes);
+        ``"process"`` gives every shard a long-lived worker process that
+        subscribes to the delta log; ``"auto"`` picks ``"process"`` when
+        the machine has more than one usable CPU.
+    compact_threshold:
+        Compact the delta log down to the slowest replica's position
+        whenever it exceeds this many records.  Retained insert records
+        keep their compiled payloads alive until they fold, so the
+        threshold bounds the engine's peak compiled-object count at
+        roughly ``cache_size + compact_threshold``; it also bounds how far
+        an *external* subscriber can lag before it must reset-and-replay.
+        ``None`` disables automatic compaction — the log (and the evicted
+        entries' payloads it retains) then grows with the stream, so only
+        use it when something else calls :meth:`DeltaLog.compact`.
+
+    Whatever the configuration, answers, per-query accounting, cache
+    contents and replacement metadata are byte-identical to ``shards=1``;
+    the test suite asserts it and the ``bench_sharded`` CI gate enforces it
+    alongside the throughput floor.
+    """
+
+    def __init__(
+        self,
+        method,
+        shards: int = 1,
+        shard_backend: str = "auto",
+        compact_threshold: int | None = 1024,
+        **kwargs,
+    ) -> None:
+        super().__init__(method, **kwargs)
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        if shard_backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {shard_backend!r}; expected one of {SHARD_BACKENDS}"
+            )
+        self.num_shards = shards
+        self.compact_threshold = compact_threshold
+        #: which components the shard replicas serve (captured before the
+        #: in-process indexes are handed over to the shards)
+        self.probe_isub = self.isub is not None
+        self.probe_isuper = self.isuper is not None
+        self.delta_log: DeltaLog | None = None
+        self.shard_runtime = None
+        self._entry_shard: dict[int, int] = {}
+        if shards == 1:
+            # A/B baseline: exactly today's single-shard engine.
+            self.shard_backend = "inline"
+            return
+        if shard_backend == "auto":
+            shard_backend = "process" if effective_cpu_count() > 1 else "inline"
+        self.shard_backend = shard_backend
+        # The shards own the containment structures; keeping the inherited
+        # in-process indexes would double-index (and double-compile) every
+        # insertion.
+        self.isub = None
+        self.isuper = None
+        self.delta_log = DeltaLog()
+        if shard_backend == "process":
+            self.shard_runtime = _ProcessShardRuntime(self)
+        else:
+            self.shard_runtime = _InlineShardRuntime(self)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_of(self, graph: LabeledGraph) -> int:
+        """Owning shard of a query graph (stable canonical-key hash)."""
+        return shard_of_key(canonical_graph_key(graph), self.num_shards)
+
+    def entry_shard(self, entry_id: int) -> int:
+        """Owning shard of a live cache entry."""
+        return self._entry_shard[entry_id]
+
+    # ------------------------------------------------------------------
+    # Probe fan-out (stage 2)
+    # ------------------------------------------------------------------
+    def _component_hits(self, query, features):
+        if self.num_shards == 1:
+            return super()._component_hits(query, features)
+        sub_ids, super_ids = self.shard_runtime.probe(
+            query, features, self.probe_isub, self.probe_isuper
+        )
+        # Shards return their hits in local slot order; the single-shard
+        # engine reports hits in cache insertion order, which (ids being
+        # monotonic) is ascending entry-id order — merge back into it so
+        # exact-repeat detection and crediting see the identical sequence.
+        cache = self.cache
+        sub_hits = [cache.get(entry_id) for entry_id in sorted(sub_ids)]
+        super_hits = [cache.get(entry_id) for entry_id in sorted(super_ids)]
+        return sub_hits, super_hits
+
+    # ------------------------------------------------------------------
+    # Delta-emitting window flush (§5.2, replacing the shadow rebuild)
+    # ------------------------------------------------------------------
+    def _flush_window(self) -> MaintenanceReport:
+        if self.num_shards == 1:
+            return super()._flush_window()
+        report = MaintenanceReport()
+        window = self.maintenance.drain_window()
+        if not window:
+            report.cache_size_after = len(self.cache)
+            return report
+        log = self.delta_log
+        victims = self.maintenance.select_evictions(self.cache, len(window))
+        for entry_id in victims:
+            self.cache.remove(entry_id)  # releases the parent-side payloads
+            log.append_evict(self._entry_shard.pop(entry_id), entry_id)
+        report.evicted = len(victims)
+        report.evicted_entry_ids = victims
+        for pending in window:
+            entry = self.cache.add(
+                pending.graph, pending.features, pending.answer, tags=pending.tags
+            )
+            shard_id = self.shard_of(pending.graph)
+            self._entry_shard[entry.entry_id] = shard_id
+            log.append_insert(shard_id, self._make_shard_entry(entry))
+            report.inserted += 1
+        log.append_flush()
+        self.shard_runtime.sync(log)
+        if self.compact_threshold is not None and len(log) > self.compact_threshold:
+            log.compact(self.shard_runtime.progress())
+        report.cache_size_after = len(self.cache)
+        return report
+
+    def _make_shard_entry(self, entry: CacheEntry) -> ShardEntry:
+        """Build the replica payload, compiling each direction exactly once.
+
+        Compilation happens here — in the parent, when the entry enters the
+        log — for the same reason the single-shard indexes compile on
+        insertion: the entry will be containment-tested against every
+        future query.  The compiled objects are stored on the cache entry
+        too (released on eviction), so no shard ever recompiles them.
+        """
+        if self.igq_compiled and self.igq_verifier.supports_compiled():
+            if self.probe_isub and entry.compiled_target is None:
+                entry.compiled_target = compile_target(entry.graph)
+            if self.probe_isuper and entry.compiled_plan is None:
+                entry.compiled_plan = compile_query_plan(entry.graph)
+        return ShardEntry(
+            entry_id=entry.entry_id,
+            graph=entry.graph,
+            features=entry.features,
+            compiled_target=entry.compiled_target,
+            compiled_plan=entry.compiled_plan,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def index_size_bytes(self) -> int:
+        # With shards>1 the inherited isub/isuper are None, so the parent
+        # implementation contributes exactly the cached-graph/answer bytes;
+        # the shard structures are added on top.
+        total = super().index_size_bytes()
+        if self.num_shards > 1:
+            total += self.shard_runtime.estimated_size_bytes()
+        return total
+
+    def close(self) -> None:
+        """Shut down the shard runtime (worker pools); idempotent."""
+        if self.shard_runtime is not None:
+            self.shard_runtime.close()
+
+    def __enter__(self) -> "ShardedIGQ":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedIGQ method={self.method.name!r} mode={self.mode!r} "
+            f"shards={self.num_shards} backend={self.shard_backend!r} "
+            f"cached={len(self.cache)}>"
+        )

@@ -57,7 +57,12 @@ class FeatureTrie:
         node.postings[graph_id] = occurrences
 
     def remove_graph(self, graph_id: Hashable) -> None:
-        """Remove every posting of ``graph_id`` and prune empty branches."""
+        """Remove every posting of ``graph_id`` and prune empty branches.
+
+        Walks the whole trie; callers that know the graph's feature keys
+        should prefer :meth:`remove_posting` per key, which only walks the
+        key's path.
+        """
         self._remove_graph(self._root, graph_id)
 
     def _remove_graph(self, node: TrieNode, graph_id: Hashable) -> bool:
@@ -70,6 +75,32 @@ class FeatureTrie:
             if self._remove_graph(node.children[element], graph_id):
                 del node.children[element]
         return not node.postings and not node.children
+
+    def remove_posting(self, key: Sequence[Hashable], graph_id: Hashable) -> None:
+        """Remove the single ``(key, graph_id)`` posting, pruning its branch.
+
+        Cost is proportional to ``len(key)`` instead of the trie size, which
+        is what makes incremental index maintenance (delta-applied shard
+        replicas, as opposed to full shadow rebuilds) cheap.  Unknown keys
+        and absent postings are ignored.
+        """
+        path: list[tuple[TrieNode, Hashable]] = []
+        node = self._root
+        for element in key:
+            child = node.children.get(element)
+            if child is None:
+                return
+            path.append((node, element))
+            node = child
+        if graph_id in node.postings:
+            del node.postings[graph_id]
+            if not node.postings:
+                self._num_features -= 1
+        for parent, element in reversed(path):
+            child = parent.children[element]
+            if child.postings or child.children:
+                break
+            del parent.children[element]
 
     # ------------------------------------------------------------------
     # Lookups

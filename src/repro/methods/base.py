@@ -21,6 +21,7 @@ least as often.
 from __future__ import annotations
 
 import copy
+import pickle
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Hashable, Iterable
@@ -331,6 +332,21 @@ class SubgraphQueryMethod(ABC):
         clone._graph_features = {}
         clone.verifier = self.verifier.fresh_clone()
         return clone
+
+    def verification_payload(self, supergraph: bool = False) -> bytes:
+        """Pickled :meth:`verification_snapshot`, ready to ship to a worker.
+
+        One serialisation serves every long-lived worker process holding the
+        dataset-side verification state — the batch executor's verification
+        pool and the sharded engine's per-shard workers both initialise from
+        these bytes.  Only the *dataset* state travels this way; query-index
+        state reaches shard workers through the ordered delta log instead
+        (see :mod:`repro.core.shard`), so it is never re-snapshotted.
+        """
+        return pickle.dumps(
+            self.verification_snapshot(supergraph=supergraph),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
 
     # ------------------------------------------------------------------
     def graph_features(self, graph_id: Hashable) -> GraphFeatures:

@@ -183,6 +183,31 @@ class TestCompileOnInsertion:
         isuper.remove(entry.entry_id)
         assert entry.compiled_plan is None
 
+    def test_rebuild_releases_entries_dropped_from_the_cache(self):
+        """A shadow rebuild that drops entries must not strand payloads.
+
+        ``QueryCache.remove`` releases on eviction, but an index rebuilt
+        against a cache that no longer holds one of its entries (the entry
+        left through some other door) must release the dropped entry's
+        compiled state for its own direction.
+        """
+        cache, isub, isuper = build_indexes(
+            [make_cycle_graph("ABCD"), make_path_graph("AB")], True
+        )
+        dropped, kept = list(cache.entries())
+        # Simulate an exit that bypasses QueryCache.remove (no release).
+        del cache._entries[dropped.entry_id]
+        assert dropped.compiled_target is not None
+        assert dropped.compiled_plan is not None
+        isub.rebuild(cache)
+        assert dropped.compiled_target is None  # Isub's direction released
+        assert dropped.compiled_plan is not None  # Isuper still holds it
+        isuper.rebuild(cache)
+        assert dropped.compiled_plan is None
+        # The surviving entry keeps its compiled state through both rebuilds.
+        assert kept.compiled_target is not None
+        assert kept.compiled_plan is not None
+
 
 def live_compiled_counts() -> tuple[int, int]:
     """Process-wide live (CompiledTarget, CompiledQueryPlan) counts.
@@ -228,6 +253,66 @@ class TestLifecycleRegression:
         assert len(isub._slots._order) <= capacity + 1
         assert len(isuper._slots._order) <= capacity + 1
         # Only the live entries still hold compiled objects.
+        targets_after, plans_after = live_compiled_counts()
+        assert targets_after - targets_before <= capacity
+        assert plans_after - plans_before <= capacity
+
+    def test_steady_state_across_1k_shard_handoffs(self):
+        """The same 1k churn routed through delta-fed shard replicas.
+
+        Every insert delta carries the compiled payloads and every evict
+        delta must release them on the replica, so the number of live
+        compiled objects stays bounded by the cache capacity no matter how
+        many entries were handed to (and taken back from) the shards.
+        """
+        from repro.core.shard import DeltaLog, QueryIndexShard, ShardEntry, shard_of_key
+        from repro.features.canonical import canonical_graph_key
+        from repro.isomorphism.compiled import compile_query_plan, compile_target
+
+        capacity = 8
+        num_shards = 3
+        targets_before, plans_before = live_compiled_counts()
+        cache = QueryCache()
+        log = DeltaLog()
+        shards = [QueryIndexShard(shard_id) for shard_id in range(num_shards)]
+        owners: dict[int, int] = {}
+        rng = random.Random(41)
+        live: list[int] = []
+        for cycle in range(1000):
+            graph = random_labeled_graph(rng, rng.randint(2, 4), 0.5, name=f"s{cycle}")
+            entry = cache.add(graph, EXTRACTOR.extract(graph), frozenset())
+            entry.compiled_target = compile_target(graph)
+            entry.compiled_plan = compile_query_plan(graph)
+            shard_id = shard_of_key(canonical_graph_key(graph), num_shards)
+            owners[entry.entry_id] = shard_id
+            log.append_insert(
+                shard_id,
+                ShardEntry(
+                    entry_id=entry.entry_id,
+                    graph=graph,
+                    features=entry.features,
+                    compiled_target=entry.compiled_target,
+                    compiled_plan=entry.compiled_plan,
+                ),
+            )
+            live.append(entry.entry_id)
+            if len(live) > capacity:
+                victim = live.pop(0)
+                cache.remove(victim)
+                log.append_evict(owners.pop(victim), victim)
+            for shard in shards:
+                shard.catch_up(log)
+            if cycle % 100 == 99:
+                log.append_flush()
+                log.compact(min(shard.applied_version for shard in shards))
+        # Final sync: once every replica acknowledged the whole log, the
+        # compacted log is exactly the live entries.
+        log.append_flush()
+        for shard in shards:
+            shard.catch_up(log)
+        log.compact(min(shard.applied_version for shard in shards))
+        assert sum(len(shard) for shard in shards) == len(cache) == capacity
+        assert len(log) <= capacity
         targets_after, plans_after = live_compiled_counts()
         assert targets_after - targets_before <= capacity
         assert plans_after - plans_before <= capacity
