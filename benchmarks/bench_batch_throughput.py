@@ -32,7 +32,14 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core import IGQ, default_num_workers, effective_cpu_count  # noqa: E402
+from repro.core import (  # noqa: E402
+    IGQ,
+    BatchConfig,
+    CacheConfig,
+    EngineConfig,
+    default_num_workers,
+    effective_cpu_count,
+)
 from repro.datasets.registry import load_dataset  # noqa: E402
 from repro.methods import create_method  # noqa: E402
 from repro.workloads.generator import QueryGenerator, WorkloadSpec  # noqa: E402
@@ -54,13 +61,24 @@ def build_stream(database, num_queries: int, distinct: int, alpha: float, seed: 
     return [pool[sampler.sample(rng)] for _ in range(num_queries)]
 
 
-def fresh_engine(database, method_name: str, cache_size: int, window_size: int) -> IGQ:
+def fresh_engine(
+    database,
+    method_name: str,
+    cache_size: int,
+    window_size: int,
+    num_workers: int = 1,
+    backend: str = "auto",
+) -> IGQ:
     if method_name in ("ggsx", "grapes"):
         method = create_method(method_name, max_path_length=3)
     else:
         method = create_method(method_name)
     method.build_index(database)
-    engine = IGQ(method, cache_size=cache_size, window_size=window_size)
+    config = EngineConfig(
+        cache=CacheConfig(size=cache_size, window=window_size),
+        batch=BatchConfig(num_workers=num_workers, backend=backend),
+    )
+    engine = IGQ.from_config(method, config)
     engine.attach_prebuilt()
     return engine
 
@@ -79,12 +97,15 @@ def run_benchmark(args) -> dict:
 
     engine = fresh_engine(database, args.method, args.cache_size, args.window_size)
     start = time.perf_counter()
-    batch_one = engine.run_batch(stream, num_workers=1)
+    batch_one = engine.run_batch(stream)
     batch_one_seconds = time.perf_counter() - start
 
-    engine = fresh_engine(database, args.method, args.cache_size, args.window_size)
+    engine = fresh_engine(
+        database, args.method, args.cache_size, args.window_size,
+        num_workers=workers, backend=args.backend,
+    )
     start = time.perf_counter()
-    batch_many = engine.run_batch(stream, num_workers=workers, backend=args.backend)
+    batch_many = engine.run_batch(stream)
     batch_many_seconds = time.perf_counter() - start
 
     identical = all(

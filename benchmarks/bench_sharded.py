@@ -35,7 +35,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core import ShardedIGQ  # noqa: E402
+from repro.core import CacheConfig, EngineConfig, ShardConfig, ShardedIGQ  # noqa: E402
 from repro.core.batch import effective_cpu_count  # noqa: E402
 from repro.datasets.registry import load_dataset  # noqa: E402
 from repro.methods import create_method  # noqa: E402
@@ -93,12 +93,12 @@ def fingerprint(engine, results) -> tuple:
 
 def run_config(database, stream, args, shards: int, backend: str) -> dict:
     method = create_method("ggsx", max_path_length=args.max_path_length)
-    engine = ShardedIGQ(
+    engine = ShardedIGQ.from_config(
         method,
-        shards=shards,
-        shard_backend=backend,
-        cache_size=args.cache_size,
-        window_size=args.window_size,
+        EngineConfig(
+            cache=CacheConfig(size=args.cache_size, window=args.window_size),
+            shard=ShardConfig(shards=shards, backend=backend),
+        ),
     )
     engine.build_index(database)
     if backend == "process":

@@ -34,7 +34,14 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.core import IGQ, default_num_workers, effective_cpu_count  # noqa: E402
+from repro.core import (  # noqa: E402
+    IGQ,
+    BatchConfig,
+    CacheConfig,
+    EngineConfig,
+    default_num_workers,
+    effective_cpu_count,
+)
 from repro.datasets.registry import load_dataset  # noqa: E402
 from repro.isomorphism import Verifier  # noqa: E402
 from repro.methods import create_method  # noqa: E402
@@ -121,12 +128,16 @@ def bench_pipelined_planner(database, stream, method_name: str, args) -> dict:
     runs = {}
     for pipeline in (False, True):
         method = build_method(database, method_name, Verifier())
-        engine = IGQ(method, cache_size=args.cache_size, window_size=args.window_size)
+        config = EngineConfig(
+            cache=CacheConfig(size=args.cache_size, window=args.window_size),
+            batch=BatchConfig(
+                num_workers=workers, backend=args.backend, pipeline=pipeline
+            ),
+        )
+        engine = IGQ.from_config(method, config)
         engine.attach_prebuilt()
         start = time.perf_counter()
-        results = engine.run_batch(
-            stream, num_workers=workers, backend=args.backend, pipeline=pipeline
-        )
+        results = engine.run_batch(stream)
         runs[pipeline] = (
             time.perf_counter() - start,
             [tuple(sorted(map(repr, result.answers))) for result in results],

@@ -7,6 +7,12 @@ Each refined query is a *supergraph* of the previous one, and each coarser
 query is a *subgraph* of something asked before, which is exactly the
 pattern iGQ exploits.
 
+Each screening seed runs inside its own
+:class:`~repro.service.GraphQueryService` *session*: the engine (cache,
+window, replacement state) is shared across the whole campaign — one seed's
+cached queries speed the next one up — while the per-seed accounting stays
+separate in the final report.
+
 Run with::
 
     python examples/chemical_screening.py
@@ -16,7 +22,13 @@ from __future__ import annotations
 
 import random
 
-from repro import IGQ, create_method, load_dataset
+from repro import (
+    CacheConfig,
+    EngineConfig,
+    GraphQueryService,
+    create_method,
+    load_dataset,
+)
 from repro.graphs import LabeledGraph
 from repro.workloads import QueryGenerator, WorkloadSpec
 
@@ -55,9 +67,7 @@ def main() -> None:
     rng = random.Random(2016)
     database = load_dataset("aids", scale=0.4)
     method = create_method("ctindex", tree_max_size=4, cycle_max_length=6)
-    method.build_index(database)
-    engine = IGQ(method, cache_size=60, window_size=4)
-    engine.attach_prebuilt()
+    config = EngineConfig(cache=CacheConfig(size=60, window=4))
 
     # Seed queries: small functional-group-like patterns extracted from the
     # collection itself.
@@ -69,33 +79,40 @@ def main() -> None:
 
     total_tests = 0
     total_saved = 0
-    print("screening session (each seed is refined three times):")
-    for seed in seeds:
-        query = seed
-        for step in range(4):
-            result = engine.query(query)
-            saved = len(result.guaranteed_answers) + len(result.pruned_candidates)
-            total_tests += result.num_isomorphism_tests
-            total_saved += saved
-            flags = []
-            if result.exact_hit:
-                flags.append("exact repeat")
-            if result.num_sub_hits:
-                flags.append(f"{result.num_sub_hits} cached supergraphs")
-            if result.num_super_hits:
-                flags.append(f"{result.num_super_hits} cached subgraphs")
-            print(
-                f"  {query.name:>10}: {query.num_edges:>2} edges -> "
-                f"{result.num_answers:>3} matching compounds, "
-                f"{result.num_isomorphism_tests:>3} iso tests, "
-                f"{saved:>3} tests avoided "
-                f"({', '.join(flags) if flags else 'cold query'})"
-            )
-            query = refine(query, database, rng)
+    with GraphQueryService(method, config, database=database) as service:
+        print("screening session (each seed is refined three times):")
+        for seed in seeds:
+            session = service.session(seed.name)
+            query = seed
+            for step in range(4):
+                result = session.query(query)
+                saved = len(result.guaranteed_answers) + len(result.pruned_candidates)
+                total_tests += result.num_isomorphism_tests
+                total_saved += saved
+                flags = []
+                if result.exact_hit:
+                    flags.append("exact repeat")
+                if result.num_sub_hits:
+                    flags.append(f"{result.num_sub_hits} cached supergraphs")
+                if result.num_super_hits:
+                    flags.append(f"{result.num_super_hits} cached subgraphs")
+                print(
+                    f"  {query.name:>10}: {query.num_edges:>2} edges -> "
+                    f"{result.num_answers:>3} matching compounds, "
+                    f"{result.num_isomorphism_tests:>3} iso tests, "
+                    f"{saved:>3} tests avoided "
+                    f"({', '.join(flags) if flags else 'cold query'})"
+                )
+                query = refine(query, database, rng)
+        report = service.stats()
     print()
     print(f"isomorphism tests executed: {total_tests}")
     print(f"isomorphism tests avoided:  {total_saved}")
-    print(f"queries cached:             {len(engine.cache)}")
+    print(f"queries cached:             {report.cache_size}")
+    # Which seed benefited most from the shared cache?
+    best = max(report.sessions.values(), key=lambda s: s.hit_rate)
+    print(f"luckiest screening seed:    {best.name} "
+          f"({best.hit_rate:.0%} of its queries hit the index)")
 
 
 if __name__ == "__main__":

@@ -1,19 +1,30 @@
-"""Quickstart: index a graph collection, wrap the method in iGQ, run queries.
+"""Quickstart: index a graph collection, stand up the query service, run queries.
 
 Run with::
 
     python examples/quickstart.py
 
 The script builds a scaled-down PDBS-like biomolecule collection, indexes it
-with GraphGrepSX, stacks the iGQ query index on top, and processes a skewed
-query workload twice — once with the plain method, once with iGQ — printing
-the paper's headline metrics (number of subgraph isomorphism tests and query
-processing time) side by side.
+with GraphGrepSX, describes the iGQ engine with a typed
+:class:`~repro.core.config.EngineConfig`, and serves a skewed query workload
+through :class:`~repro.service.GraphQueryService` — the public front door
+that owns engine construction, dataset indexing and worker-pool lifecycle.
+The same stream is run through the plain method first, so the paper's
+headline metrics (number of subgraph isomorphism tests and query processing
+time) print side by side.
 """
 
 from __future__ import annotations
 
-from repro import IGQ, QueryGenerator, WorkloadSpec, create_method, load_dataset
+from repro import (
+    CacheConfig,
+    EngineConfig,
+    GraphQueryService,
+    QueryGenerator,
+    WorkloadSpec,
+    create_method,
+    load_dataset,
+)
 from repro.experiments import StreamMetrics, speedup
 
 
@@ -43,15 +54,19 @@ def main() -> None:
     for query in queries:
         base_metrics.add(method.query(query), query)
 
-    # 5. The same stream through iGQ (cache of 40 queries, window of 10).
-    engine = IGQ(method, cache_size=40, window_size=10)
-    engine.attach_prebuilt()
+    # 5. The same stream through iGQ.  One typed config describes the whole
+    #    engine (cache of 40 queries, window of 10); the service builds the
+    #    engine, reuses the already-built method index and shuts everything
+    #    down on exit.
+    config = EngineConfig(cache=CacheConfig(size=40, window=10))
     igq_metrics = StreamMetrics(label="igq_ggsx")
-    for query in queries:
-        igq_metrics.add(engine.query(query), query)
+    with GraphQueryService(method, config) as service:
+        for query, result in zip(queries, service.stream(queries)):
+            igq_metrics.add(result, query)
+        report = service.stats()
 
     # 6. Report.
-    report = speedup(base_metrics, igq_metrics)
+    comparison = speedup(base_metrics, igq_metrics)
     print()
     print(f"{'':>28} {'GGSX':>12} {'iGQ GGSX':>12}")
     print(f"{'avg iso tests / query':>28} {base_metrics.avg_isomorphism_tests:>12.2f} "
@@ -61,9 +76,10 @@ def main() -> None:
     print(f"{'avg candidates / query':>28} {base_metrics.avg_candidates:>12.2f} "
           f"{igq_metrics.avg_candidates:>12.2f}")
     print()
-    print(f"speedup in #isomorphism tests: {report.isomorphism_test_speedup:.2f}x")
-    print(f"speedup in query time:         {report.time_speedup:.2f}x")
-    print(f"cached queries at the end:     {len(engine.cache)}")
+    print(f"speedup in #isomorphism tests: {comparison.isomorphism_test_speedup:.2f}x")
+    print(f"speedup in query time:         {comparison.time_speedup:.2f}x")
+    print(f"query-index hit rate:          {report.totals.hit_rate:.0%}")
+    print(f"cached queries at the end:     {report.cache_size} / {report.cache_capacity}")
 
 
 if __name__ == "__main__":

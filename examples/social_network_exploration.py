@@ -6,7 +6,10 @@ graphs — a friendship pattern within one community is a subgraph of the same
 pattern across the whole network.  Successive queries therefore form
 subgraph/supergraph chains, and repeated sessions re-issue old queries
 verbatim.  The example runs such a session against the PPI-like dense
-networks and shows how often iGQ can skip verification entirely.
+networks through :meth:`GraphQueryService.submit` — the asynchronous front
+door: queries are enqueued, futures resolve in submission order, and the
+engine's cache/replacement behaviour is byte-identical to a plain
+sequential loop.
 
 Run with::
 
@@ -15,16 +18,20 @@ Run with::
 
 from __future__ import annotations
 
-from repro import IGQ, create_method, load_dataset
+from repro import (
+    CacheConfig,
+    EngineConfig,
+    GraphQueryService,
+    create_method,
+    load_dataset,
+)
 from repro.workloads import QueryGenerator, WorkloadSpec
 
 
 def main() -> None:
     database = load_dataset("ppi")
     method = create_method("grapes", max_path_length=3)
-    method.build_index(database)
-    engine = IGQ(method, cache_size=40, window_size=8)
-    engine.attach_prebuilt()
+    config = EngineConfig(cache=CacheConfig(size=40, window=8))
 
     # An exploration session: a mix of query sizes, strongly skewed towards
     # the communities (graphs/nodes) the analyst keeps coming back to.
@@ -41,34 +48,38 @@ def main() -> None:
     # (e.g. to double-check earlier findings).
     session = session + session[::4]
 
-    exact_hits = 0
-    skipped = 0
-    tests = 0
-    for query in session:
-        result = engine.query(query)
-        tests += result.num_isomorphism_tests
-        exact_hits += result.exact_hit
-        skipped += result.verification_skipped
-    print(f"queries processed:            {len(session)}")
-    print(f"isomorphism tests executed:   {tests}")
-    print(f"exact repeats answered from cache: {exact_hits}")
-    print(f"queries with no verification at all: {skipped}")
-    print(f"cache occupancy: {len(engine.cache)} / 40")
+    with GraphQueryService(method, config, database=database, max_in_flight=16) as service:
+        # Fire-and-collect: submissions return futures immediately (bounded
+        # by max_in_flight back-pressure); results resolve in order.
+        futures = [service.submit(query) for query in session]
+        results = [future.result() for future in futures]
+        report = service.stats()
+        engine = service.engine
 
-    # Popularity-ranked cache contents: which patterns earned their place?
-    print("\nmost useful cached patterns (by alleviated cost per query):")
-    ranked = sorted(
-        engine.cache.entries(),
-        key=lambda entry: entry.alleviated_cost / max(
-            entry.queries_since_added(engine.cache.query_counter), 1
-        ),
-        reverse=True,
-    )
-    for entry in ranked[:5]:
-        print(
-            f"  {entry.graph.name:>10}: {entry.graph.num_edges:>2} edges, "
-            f"hits={entry.hits:>3}, tests avoided={entry.removed:>4}"
+        exact_hits = sum(result.exact_hit for result in results)
+        skipped = sum(result.verification_skipped for result in results)
+        tests = sum(result.num_isomorphism_tests for result in results)
+        print(f"queries processed:            {len(session)}")
+        print(f"isomorphism tests executed:   {tests}")
+        print(f"exact repeats answered from cache: {exact_hits}")
+        print(f"queries with no verification at all: {skipped}")
+        print(f"query-index hit rate: {report.totals.hit_rate:.0%}")
+        print(f"cache occupancy: {report.cache_size} / {report.cache_capacity}")
+
+        # Popularity-ranked cache contents: which patterns earned their place?
+        print("\nmost useful cached patterns (by alleviated cost per query):")
+        ranked = sorted(
+            engine.cache.entries(),
+            key=lambda entry: entry.alleviated_cost / max(
+                entry.queries_since_added(engine.cache.query_counter), 1
+            ),
+            reverse=True,
         )
+        for entry in ranked[:5]:
+            print(
+                f"  {entry.graph.name:>10}: {entry.graph.num_edges:>2} edges, "
+                f"hits={entry.hits:>3}, tests avoided={entry.removed:>4}"
+            )
 
 
 if __name__ == "__main__":

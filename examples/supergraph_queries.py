@@ -7,6 +7,11 @@ indexes, with their roles mirrored: answers of cached queries contained in
 the new query are guaranteed answers; answers of cached queries containing
 the new query bound the candidate set from above.
 
+The example serves the lookups through a
+:class:`~repro.service.GraphQueryService` configured with
+``EngineConfig(mode="supergraph")`` — the same front door as subgraph
+queries, selected by one config field.
+
 Run with::
 
     python examples/supergraph_queries.py
@@ -14,7 +19,13 @@ Run with::
 
 from __future__ import annotations
 
-from repro import IGQ, create_method, load_dataset
+from repro import (
+    CacheConfig,
+    EngineConfig,
+    GraphQueryService,
+    create_method,
+    load_dataset,
+)
 from repro.graphs import GraphDatabase
 from repro.workloads import QueryGenerator, WorkloadSpec
 
@@ -37,9 +48,6 @@ def main() -> None:
     )
 
     method = create_method("ggsx", max_path_length=3)
-    method.build_index(fragments)
-    engine = IGQ(method, cache_size=30, window_size=6, mode="supergraph")
-    engine.attach_prebuilt()
 
     # Supergraph queries: medium-sized molecules, repeatedly drawn from the
     # popular part of the collection.
@@ -53,29 +61,33 @@ def main() -> None:
     )
     queries = QueryGenerator(molecules, spec).generate(80)
 
-    baseline_tests = 0
-    igq_tests = 0
-    answers_total = 0
-    for query in queries:
-        baseline_tests += method.supergraph_query(query).num_isomorphism_tests
-        result = engine.supergraph_query(query)
-        igq_tests += result.num_isomorphism_tests
-        answers_total += result.num_answers
+    config = EngineConfig(mode="supergraph", cache=CacheConfig(size=30, window=6))
+    with GraphQueryService(method, config, database=fragments) as service:
+        baseline_tests = 0
+        igq_tests = 0
+        answers_total = 0
+        for query in queries:
+            baseline_tests += method.supergraph_query(query).num_isomorphism_tests
+            result = service.query(query)
+            igq_tests += result.num_isomorphism_tests
+            answers_total += result.num_answers
 
-    print(f"fragment catalogue:        {len(fragments)} graphs")
-    print(f"supergraph queries:        {len(queries)}")
-    print(f"avg fragments per answer:  {answers_total / len(queries):.1f}")
-    print(f"iso tests without iGQ:     {baseline_tests}")
-    print(f"iso tests with iGQ:        {igq_tests}")
-    if igq_tests:
-        print(f"reduction:                 {baseline_tests / igq_tests:.2f}x")
-    print(f"cached queries:            {len(engine.cache)}")
+        print(f"fragment catalogue:        {len(fragments)} graphs")
+        print(f"supergraph queries:        {len(queries)}")
+        print(f"avg fragments per answer:  {answers_total / len(queries):.1f}")
+        print(f"iso tests without iGQ:     {baseline_tests}")
+        print(f"iso tests with iGQ:        {igq_tests}")
+        if igq_tests:
+            print(f"reduction:                 {baseline_tests / igq_tests:.2f}x")
+        report = service.stats()
+        print(f"query-index hit rate:      {report.totals.hit_rate:.0%}")
+        print(f"cached queries:            {report.cache_size}")
 
-    # Show one concrete answer set.
-    sample = queries[0]
-    answers = engine.supergraph_query(sample).answers
-    print(f"\nexample: molecule {sample.name} ({sample.num_edges} edges) contains "
-          f"{len(answers)} catalogued fragments")
+        # Show one concrete answer set.
+        sample = queries[0]
+        answers = service.query(sample).answers
+        print(f"\nexample: molecule {sample.name} ({sample.num_edges} edges) contains "
+              f"{len(answers)} catalogued fragments")
 
 
 if __name__ == "__main__":

@@ -23,20 +23,33 @@ Public API overview
 * :mod:`repro.experiments` — drivers that regenerate every figure of the
   paper's evaluation.
 
+* :mod:`repro.service` — :class:`~repro.service.GraphQueryService`, the
+  session façade that owns engine lifecycle and is the intended public
+  entry point for applications.
+
 Quickstart
 ----------
 
->>> from repro import IGQ, create_method, load_dataset, QueryGenerator, WorkloadSpec
+>>> from repro import CacheConfig, EngineConfig, GraphQueryService
+>>> from repro import create_method, load_dataset, QueryGenerator, WorkloadSpec
 >>> database = load_dataset("aids", scale=0.2)
->>> method = create_method("ggsx")
->>> engine = IGQ(method, cache_size=50, window_size=10)
->>> engine.build_index(database)
+>>> config = EngineConfig(cache=CacheConfig(size=50, window=10))
 >>> queries = QueryGenerator(database, WorkloadSpec(name="zipf-zipf",
 ...     graph_distribution="zipf", node_distribution="zipf")).generate(20)
->>> results = [engine.query(q) for q in queries]
+>>> with GraphQueryService(create_method("ggsx"), config, database=database) as service:
+...     results = service.run(queries)
 """
 
+from .core.config import (
+    BatchConfig,
+    CacheConfig,
+    ConfigError,
+    EngineConfig,
+    ShardConfig,
+    VerifierConfig,
+)
 from .core.engine import IGQ, IGQQueryResult
+from .core.shard import ShardedIGQ
 from .datasets.registry import available_datasets, load_dataset
 from .graphs.database import GraphDatabase
 from .graphs.graph import GraphError, LabeledGraph
@@ -44,6 +57,7 @@ from .isomorphism.verifier import Verifier
 from .isomorphism.vf2 import is_subgraph_isomorphic
 from .methods import available_methods, create_method
 from .methods.base import QueryResult, SubgraphQueryMethod
+from .service import GraphQueryService, ServiceReport, ServiceSession, SessionStats
 from .workloads.generator import QueryGenerator, WorkloadSpec, standard_workloads
 
 __version__ = "1.0.0"
@@ -51,6 +65,17 @@ __version__ = "1.0.0"
 __all__ = [
     "IGQ",
     "IGQQueryResult",
+    "ShardedIGQ",
+    "EngineConfig",
+    "CacheConfig",
+    "VerifierConfig",
+    "BatchConfig",
+    "ShardConfig",
+    "ConfigError",
+    "GraphQueryService",
+    "ServiceReport",
+    "ServiceSession",
+    "SessionStats",
     "GraphDatabase",
     "GraphError",
     "LabeledGraph",

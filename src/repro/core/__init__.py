@@ -8,6 +8,14 @@ from .batch import (
     effective_cpu_count,
 )
 from .cache import CacheEntry, QueryCache
+from .config import (
+    BatchConfig,
+    CacheConfig,
+    ConfigError,
+    EngineConfig,
+    ShardConfig,
+    VerifierConfig,
+)
 from .containment import ContainmentIndex
 from .engine import IGQ, IGQQueryResult, QueryPlan
 from .isub import SubgraphQueryIndex
@@ -34,6 +42,12 @@ __all__ = [
     "IGQ",
     "IGQQueryResult",
     "QueryPlan",
+    "EngineConfig",
+    "CacheConfig",
+    "VerifierConfig",
+    "BatchConfig",
+    "ShardConfig",
+    "ConfigError",
     "ShardedIGQ",
     "CacheDelta",
     "DeltaLog",

@@ -44,10 +44,18 @@ from ..features.canonical import canonical_graph_key, exact_graph_signature
 from ..features.extractor import GraphFeatures
 from ..graphs.graph import LabeledGraph
 from ..methods.base import QueryResult, SubgraphQueryMethod
+from .config import (
+    MIXED_MODE,
+    SUBGRAPH_MODE,
+    SUPERGRAPH_MODE,
+    BatchConfig,
+    validate_query_mode,
+)
 from .engine import IGQ, IGQQueryResult, QueryPlan
 
 __all__ = [
     "BACKENDS",
+    "DRAIN",
     "BatchStats",
     "FeatureMemo",
     "BatchExecutor",
@@ -55,6 +63,25 @@ __all__ = [
     "effective_cpu_count",
     "graph_signature",
 ]
+
+
+class _Drain:
+    """Sentinel stream item: "no query is ready — finish what is in flight".
+
+    Emitted by live task sources (the :class:`~repro.service.GraphQueryService`
+    queue) between a dispatched query and the next submission, so the
+    pipelined executor completes the outstanding query instead of blocking a
+    caller's future on a successor that may never arrive.  Harmless in batch
+    streams: the sequential path skips it outright.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<DRAIN>"
+
+
+DRAIN = _Drain()
 
 #: accepted ``backend`` values; ``"auto"`` resolves to ``"process"`` when
 #: more than one worker is requested *and* the machine can actually run them
@@ -329,6 +356,16 @@ class BatchExecutor:
         by default; only takes effect when an iGQ engine is driven with a
         worker pool).  Semantics are unchanged either way — the flag exists
         so benchmarks and tests can isolate the latency contribution.
+    config:
+        A :class:`~repro.core.config.BatchConfig` carrying all of the above
+        in one validated object (what engines and the service pass down);
+        when given it supersedes the flat parameters.
+
+    Stream items are either bare query graphs (executed as the engine's
+    configured type) or ``(query, mode)`` pairs with ``mode`` one of
+    ``"subgraph"`` / ``"supergraph"`` — a mixed-mode engine requires the
+    pair form, which is how the service front door drives one engine with
+    both query types in a single ordered stream.
     """
 
     def __init__(
@@ -339,7 +376,14 @@ class BatchExecutor:
         chunk_size: int | None = None,
         memoize_features: bool = True,
         pipeline: bool = True,
+        config: BatchConfig | None = None,
     ) -> None:
+        if config is not None:
+            num_workers = config.num_workers
+            backend = config.backend
+            chunk_size = config.chunk_size
+            memoize_features = config.memoize_features
+            pipeline = config.pipeline
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         if num_workers < 1:
@@ -370,7 +414,7 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     # Pool lifecycle
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> Executor:
+    def _ensure_pool(self, supergraph: bool = False) -> Executor:
         if self._pool is None:
             if self.backend == "process":
                 # A sharded engine with process-backed shards already keeps
@@ -383,9 +427,15 @@ class BatchExecutor:
                     self._pool = shared
                     self._owns_pool = False
                     return self._pool
-                payload = self.method.verification_payload(
-                    supergraph=self.engine is not None and self.engine.mode == "supergraph"
-                )
+                if self.engine is not None:
+                    mode = self.engine.mode
+                else:
+                    # A bare method has no configured mode; precompile for
+                    # the direction of the chunk that forced pool creation
+                    # (a later plain stream mixing both directions falls
+                    # back to lazy per-worker compilation of the other one).
+                    mode = SUPERGRAPH_MODE if supergraph else SUBGRAPH_MODE
+                payload = self.method.verification_payload(mode=mode)
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.num_workers,
                     initializer=_init_worker,
@@ -416,29 +466,52 @@ class BatchExecutor:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_batch(self, queries: Iterable[LabeledGraph]) -> list[QueryResult]:
+    def run_batch(self, queries: Iterable) -> list[QueryResult]:
         """Process ``queries`` in order and return one result per query."""
         return list(self.run_stream(queries))
 
-    def run_stream(self, queries: Iterable[LabeledGraph]) -> Iterator[QueryResult]:
+    def run_stream(self, queries: Iterable) -> Iterator[QueryResult]:
         """Streaming form of :meth:`run_batch`: yield results as they finish.
 
         Queries are verified and folded into the cache strictly in input
         order.  With an iGQ engine, a worker pool and ``pipeline=True``
         (the default), query *i+1* is planned while query *i*'s candidates
         verify on the pool; results still arrive in input order and the
-        engine ends the stream in exactly the sequential state.
+        engine ends the stream in exactly the sequential state.  Items may
+        be bare graphs or ``(query, mode)`` pairs; :data:`DRAIN` items make
+        a live source flush the in-flight query (see :class:`_Drain`).
         """
         if self.engine is not None and self.pipeline and self._pool_enabled():
             yield from self._run_stream_pipelined(queries)
             return
-        for query in queries:
-            yield self._run_one(query)
+        for item in queries:
+            if item is DRAIN:
+                continue
+            yield self._run_one(item)
 
     def _pool_enabled(self) -> bool:
         return self.backend != "sequential" and self.num_workers > 1
 
-    def _run_stream_pipelined(self, queries: Iterable[LabeledGraph]) -> Iterator[IGQQueryResult]:
+    def _task_of(self, item) -> tuple[LabeledGraph, bool]:
+        """Normalise a stream item to ``(query, supergraph)``."""
+        if isinstance(item, tuple):
+            query, mode = item
+        else:
+            query, mode = item, None
+        if mode is None:
+            default = self.engine.mode if self.engine is not None else SUBGRAPH_MODE
+            if default == MIXED_MODE:
+                raise ValueError(
+                    "a mixed-mode engine takes (query, mode) stream items; "
+                    "got a bare query graph"
+                )
+            mode = default
+        validate_query_mode(mode)
+        if self.engine is not None:
+            self.engine._require_mode(mode)
+        return query, mode == SUPERGRAPH_MODE
+
+    def _run_stream_pipelined(self, queries: Iterable) -> Iterator[IGQQueryResult]:
         """Pipelined plan/verify loop over an iGQ engine.
 
         Sequential order per query is plan → verify → complete; the only
@@ -450,12 +523,20 @@ class BatchExecutor:
         position.  If completing query *i* flushed the window (the one
         completion effect planning can observe), the speculative plan is
         discarded: the component-lookup statistics are rolled back and the
-        query is re-planned against the post-flush index.
+        query is re-planned against the post-flush index.  A :data:`DRAIN`
+        item completes the in-flight query immediately (state writes land in
+        the same order the sequential loop would produce — the plan overlap
+        is simply skipped for that boundary).
         """
         engine = self.engine
-        supergraph = engine.mode == "supergraph"
         pending: _PendingVerification | None = None
-        for query in queries:
+        for item in queries:
+            if item is DRAIN:
+                if pending is not None:
+                    yield self._finish(pending)
+                    pending = None
+                continue
+            query, supergraph = self._task_of(item)
             self.stats.queries += 1
             start = time.perf_counter()
             features = self._extract(query)
@@ -516,7 +597,8 @@ class BatchExecutor:
         result.filter_seconds += pending.extract_seconds
         return result
 
-    def _run_one(self, query: LabeledGraph) -> QueryResult:
+    def _run_one(self, item) -> QueryResult:
+        query, supergraph = self._task_of(item)
         self.stats.queries += 1
         # Extraction happens outside plan/filter, so its cost is folded back
         # into filter_seconds below — the per-query accounting must match the
@@ -525,9 +607,9 @@ class BatchExecutor:
         features = self._extract(query)
         extract_seconds = time.perf_counter() - start
         if self.engine is not None:
-            result = self._run_one_igq(query, features)
+            result = self._run_one_igq(query, features, supergraph)
         else:
-            result = self._run_one_plain(query, features)
+            result = self._run_one_plain(query, features, supergraph)
         result.filter_seconds += extract_seconds
         return result
 
@@ -539,9 +621,10 @@ class BatchExecutor:
         self.stats.feature_memo_misses = self._memo.misses
         return features
 
-    def _run_one_igq(self, query: LabeledGraph, features: GraphFeatures) -> IGQQueryResult:
+    def _run_one_igq(
+        self, query: LabeledGraph, features: GraphFeatures, supergraph: bool
+    ) -> IGQQueryResult:
         engine = self.engine
-        supergraph = engine.mode == "supergraph"
         plan = engine.plan_query(query, supergraph=supergraph, features=features)
         candidate_ids = list(plan.remaining)
         start = time.perf_counter()
@@ -553,18 +636,26 @@ class BatchExecutor:
         verify_seconds = time.perf_counter() - start
         return engine.complete_query(plan, verified, verify_seconds)
 
-    def _run_one_plain(self, query: LabeledGraph, features: GraphFeatures) -> QueryResult:
+    def _run_one_plain(
+        self, query: LabeledGraph, features: GraphFeatures, supergraph: bool = False
+    ) -> QueryResult:
         method = self.method
         tests_before = method.verifier.stats.tests
         start = time.perf_counter()
-        candidates = method.filter_candidates(query, features=features)
+        if supergraph:
+            candidates = method.filter_supergraph_candidates(query, features=features)
+        else:
+            candidates = method.filter_candidates(query, features=features)
         filter_seconds = time.perf_counter() - start
         candidate_ids = list(candidates)
         start = time.perf_counter()
         if self._use_pool(candidate_ids):
             answers = self._verify_parallel(
-                query, candidate_ids, supergraph=False, features=features
+                query, candidate_ids, supergraph=supergraph, features=features
             )
+        elif supergraph:
+            self.stats.sequential_verifications += 1
+            answers = method.verify_supergraph(query, candidates, features=features)
         else:
             self.stats.sequential_verifications += 1
             answers = method.verify(query, candidates, features=features)
@@ -620,7 +711,7 @@ class BatchExecutor:
         features: GraphFeatures | None,
     ) -> list:
         """Submit one query's verification chunks; return the futures."""
-        pool = self._ensure_pool()
+        pool = self._ensure_pool(supergraph)
         self.stats.parallel_verifications += 1
         futures = []
         for chunk in self._chunks(candidate_ids):

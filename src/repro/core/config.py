@@ -1,0 +1,296 @@
+"""Typed engine configuration: one validated object instead of flat kwargs.
+
+Four generations of performance machinery (batch executor, compiled
+verification, unified containment, sharded cache) each bolted new flat
+kwargs onto :class:`~repro.core.engine.IGQ` and ``run_batch``
+(``igq_compiled=``, ``pipeline=``, ``shards=``, ``shard_backend=``,
+``num_workers=``, ``batch_backend=``, …).  This module replaces that
+accretion with a small tree of frozen dataclasses:
+
+* :class:`CacheConfig` — the query cache (``C``, ``W``, replacement policy);
+* :class:`VerifierConfig` — the isomorphism verifier and the compiled
+  fast-path / containment-layer A/B flags;
+* :class:`BatchConfig` — the batch executor (workers, backend, pipelining);
+* :class:`ShardConfig` — the sharded query index;
+* :class:`EngineConfig` — the composition of the four plus the query mode,
+  which is what :meth:`~repro.core.engine.IGQ.from_config`, the experiment
+  runner and :class:`~repro.service.GraphQueryService` consume.
+
+Every config is frozen (hashable, shareable), validates eagerly at
+construction with actionable errors (:class:`ConfigError` names the field,
+the offending value and the accepted ones), and round-trips losslessly
+through :meth:`EngineConfig.to_dict` / :meth:`EngineConfig.from_dict` — the
+dict form is JSON-serialisable, so process shards, worker snapshots and
+experiment grids can ship one config object instead of re-threading kwargs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any
+
+__all__ = [
+    "MODES",
+    "QUERY_MODES",
+    "SUBGRAPH_MODE",
+    "SUPERGRAPH_MODE",
+    "MIXED_MODE",
+    "ConfigError",
+    "CacheConfig",
+    "VerifierConfig",
+    "BatchConfig",
+    "ShardConfig",
+    "EngineConfig",
+    "validate_query_mode",
+]
+
+SUBGRAPH_MODE = "subgraph"
+SUPERGRAPH_MODE = "supergraph"
+#: engines in mixed mode take the query type per call instead of fixing it
+MIXED_MODE = "mixed"
+
+#: accepted engine modes; ``"mixed"`` engines take the query type per call
+#: (the service front door) instead of fixing it at construction
+MODES = (SUBGRAPH_MODE, SUPERGRAPH_MODE, MIXED_MODE)
+#: modes an individual *query* can have (an engine mode minus ``"mixed"``)
+QUERY_MODES = (SUBGRAPH_MODE, SUPERGRAPH_MODE)
+
+
+def validate_query_mode(mode: str) -> str:
+    """Check a per-query mode; shared by engine, executor and service."""
+    if mode not in QUERY_MODES:
+        raise ValueError(
+            f"unknown query mode {mode!r}; expected "
+            f"{SUBGRAPH_MODE!r} or {SUPERGRAPH_MODE!r}"
+        )
+    return mode
+
+_ALGORITHMS = ("vf2", "ullmann")
+_POLICIES = ("utility", "hit_rate", "fifo")
+_BATCH_BACKENDS = ("auto", "sequential", "thread", "process")
+_SHARD_BACKENDS = ("auto", "inline", "process")
+
+
+class ConfigError(ValueError):
+    """An engine configuration value is invalid (message says how to fix it)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _require_choice(section: str, name: str, value: Any, choices: tuple) -> None:
+    _require(
+        value in choices,
+        f"{section}.{name}={value!r} is not valid; expected one of {choices}",
+    )
+
+
+def _require_positive_int(section: str, name: str, value: Any) -> None:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool) and value >= 1,
+        f"{section}.{name}={value!r} is not valid; expected an integer >= 1",
+    )
+
+
+def _require_bool(section: str, name: str, value: Any) -> None:
+    _require(
+        isinstance(value, bool),
+        f"{section}.{name}={value!r} is not valid; expected a bool",
+    )
+
+
+def _from_dict(cls, data: Any, section: str):
+    """Build a config dataclass from a (possibly partial) plain dict."""
+    if isinstance(data, cls):
+        return data
+    _require(
+        isinstance(data, dict),
+        f"{section} must be a mapping or {cls.__name__}, got {type(data).__name__}",
+    )
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    _require(
+        not unknown,
+        f"{section} has unknown key(s) {unknown}; valid keys are {sorted(known)}",
+    )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """The iGQ query cache: capacity ``C``, window ``W``, replacement policy."""
+
+    #: maximum number of cached query graphs (the paper's ``C``)
+    size: int = 500
+    #: query-window size (the paper's ``W``, with ``W <= C``)
+    window: int = 100
+    #: replacement policy name (``"utility"`` | ``"hit_rate"`` | ``"fifo"``)
+    policy: str = "utility"
+
+    def __post_init__(self) -> None:
+        _require_positive_int("cache", "size", self.size)
+        _require_positive_int("cache", "window", self.window)
+        _require(
+            self.window <= self.size,
+            f"cache.window={self.window} cannot exceed cache.size={self.size} "
+            "(the paper requires W <= C)",
+        )
+        _require_choice("cache", "policy", self.policy, _POLICIES)
+
+
+@dataclass(frozen=True)
+class VerifierConfig:
+    """The isomorphism verifier and its fast-path A/B switches."""
+
+    #: matching algorithm (``"vf2"`` | ``"ullmann"``)
+    algorithm: str = "vf2"
+    #: induced-subgraph semantics (not used by the paper's setup)
+    induced: bool = False
+    #: allow the compiled bitset kernel on verification paths
+    compiled: bool = True
+    #: label-histogram / degree-signature early-fail check
+    precheck: bool = True
+    #: compiled containment layer of the two component indexes (query-vs-query
+    #: containment on the bitset kernel; ``False`` restores the dict matcher)
+    igq_compiled: bool = True
+
+    def __post_init__(self) -> None:
+        _require_choice("verifier", "algorithm", self.algorithm, _ALGORITHMS)
+        for name in ("induced", "compiled", "precheck", "igq_compiled"):
+            _require_bool("verifier", name, getattr(self, name))
+
+    def build(self):
+        """Instantiate the configured :class:`~repro.isomorphism.verifier.Verifier`."""
+        from ..isomorphism.verifier import Verifier
+
+        return Verifier(
+            algorithm=self.algorithm,
+            induced=self.induced,
+            compiled=self.compiled,
+            precheck=self.precheck,
+        )
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """The batch executor: verification pool and pipelined planning."""
+
+    #: worker-pool size for the verification stage (1 = sequential)
+    num_workers: int = 1
+    #: pool backend (``"auto"`` | ``"sequential"`` | ``"thread"`` | ``"process"``)
+    backend: str = "auto"
+    #: candidates per worker task (``None`` = even split over the workers)
+    chunk_size: int | None = None
+    #: plan query *i+1* while query *i* verifies on the pool
+    pipeline: bool = True
+    #: memoise query feature extraction across the batch
+    memoize_features: bool = True
+
+    def __post_init__(self) -> None:
+        _require_positive_int("batch", "num_workers", self.num_workers)
+        _require_choice("batch", "backend", self.backend, _BATCH_BACKENDS)
+        if self.chunk_size is not None:
+            _require_positive_int("batch", "chunk_size", self.chunk_size)
+        _require_bool("batch", "pipeline", self.pipeline)
+        _require_bool("batch", "memoize_features", self.memoize_features)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """The sharded query index (delta-replicated cache partitions)."""
+
+    #: number of cache partitions (1 = the single-shard engine)
+    shards: int = 1
+    #: shard runtime (``"auto"`` | ``"inline"`` | ``"process"``)
+    backend: str = "auto"
+    #: compact the delta log above this many records (``None`` = never)
+    compact_threshold: int | None = 1024
+
+    def __post_init__(self) -> None:
+        _require_positive_int("shard", "shards", self.shards)
+        _require_choice("shard", "backend", self.backend, _SHARD_BACKENDS)
+        if self.compact_threshold is not None:
+            _require_positive_int("shard", "compact_threshold", self.compact_threshold)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything needed to construct (and drive) an iGQ engine.
+
+    Build one, pass it to :meth:`repro.core.engine.IGQ.from_config` or
+    :class:`repro.service.GraphQueryService`; ship it across processes or
+    store it next to experiment results via :meth:`to_dict`.
+    """
+
+    #: query type the engine serves; ``"mixed"`` engines dispatch per query
+    mode: str = "subgraph"
+    #: enable the ``Isub`` component (cached supergraphs of the new query)
+    enable_isub: bool = True
+    #: enable the ``Isuper`` component (cached subgraphs of the new query)
+    enable_isuper: bool = True
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    verifier: VerifierConfig = field(default_factory=VerifierConfig)
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    shard: ShardConfig = field(default_factory=ShardConfig)
+
+    def __post_init__(self) -> None:
+        _require_choice("engine", "mode", self.mode, MODES)
+        _require_bool("engine", "enable_isub", self.enable_isub)
+        _require_bool("engine", "enable_isuper", self.enable_isuper)
+        _require(
+            self.enable_isub or self.enable_isuper,
+            "engine.enable_isub and engine.enable_isuper cannot both be False; "
+            "at least one iGQ component must stay enabled",
+        )
+        # Sections may arrive as plain dicts (from_dict, JSON configs);
+        # coerce them so every EngineConfig holds validated sub-configs.
+        for section, section_cls in _SECTIONS.items():
+            value = getattr(self, section)
+            if isinstance(value, dict):
+                object.__setattr__(self, section, _from_dict(section_cls, value, section))
+            else:
+                _require(
+                    isinstance(value, section_cls),
+                    f"engine.{section} must be a {section_cls.__name__} (or a "
+                    f"mapping of its fields), got {type(value).__name__}",
+                )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain nested-dict form (JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineConfig":
+        """Rebuild a config from :meth:`to_dict` output (partial dicts fill
+        in defaults; unknown keys raise :class:`ConfigError`)."""
+        return _from_dict(cls, data, "engine")
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with top-level fields replaced (``dataclasses.replace``)."""
+        from dataclasses import replace as _replace
+
+        return _replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human summary (used by reprs and service reports)."""
+        parts = [f"mode={self.mode}", f"cache={self.cache.size}/{self.cache.window}"]
+        if self.shard.shards > 1:
+            parts.append(f"shards={self.shard.shards}({self.shard.backend})")
+        if self.batch.num_workers > 1:
+            parts.append(f"workers={self.batch.num_workers}({self.batch.backend})")
+        return " ".join(parts)
+
+
+#: section name -> dataclass, used when sections arrive as plain dicts
+_SECTIONS = {
+    "cache": CacheConfig,
+    "verifier": VerifierConfig,
+    "batch": BatchConfig,
+    "shard": ShardConfig,
+}

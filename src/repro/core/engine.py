@@ -22,7 +22,8 @@ candidate set from above.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 from ..features.extractor import GraphFeatures
 from ..graphs.bitset import CandidateBitmap, GraphIdSpace
@@ -32,6 +33,16 @@ from ..isomorphism.cost import isomorphism_test_cost
 from ..isomorphism.verifier import Verifier
 from ..methods.base import QueryResult, SubgraphQueryMethod
 from .cache import CacheEntry, QueryCache
+from .config import (
+    MIXED_MODE,
+    SUBGRAPH_MODE,
+    SUPERGRAPH_MODE,
+    CacheConfig,
+    ConfigError,
+    EngineConfig,
+    VerifierConfig,
+    validate_query_mode,
+)
 from .isub import SubgraphQueryIndex
 from .isuper import SupergraphQueryIndex
 from .maintenance import IndexMaintenance, MaintenanceReport, PendingQuery
@@ -39,8 +50,70 @@ from .replacement import ReplacementPolicy, create_policy
 
 __all__ = ["IGQQueryResult", "QueryPlan", "IGQ"]
 
-SUBGRAPH_MODE = "subgraph"
-SUPERGRAPH_MODE = "supergraph"
+#: sentinel distinguishing "kwarg not passed" from every real value
+_UNSET = object()
+
+#: legacy flat kwarg -> its EngineConfig home (drives shims and warnings)
+_LEGACY_ENGINE_KWARGS = {
+    "mode": "EngineConfig.mode",
+    "enable_isub": "EngineConfig.enable_isub",
+    "enable_isuper": "EngineConfig.enable_isuper",
+    "cache_size": "EngineConfig.cache.size",
+    "window_size": "EngineConfig.cache.window",
+    "policy": "EngineConfig.cache.policy",
+    "igq_compiled": "EngineConfig.verifier.igq_compiled",
+}
+
+
+def _warn_legacy(kwargs: dict, stacklevel: int = 4) -> None:
+    """Emit one DeprecationWarning naming each kwarg's config equivalent."""
+    mapping = ", ".join(
+        f"{name}= -> {_LEGACY_ENGINE_KWARGS.get(name, name)}" for name in sorted(kwargs)
+    )
+    warnings.warn(
+        f"flat engine kwargs are deprecated; build an EngineConfig instead ({mapping})",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def _legacy_engine_config(
+    kwargs: dict, stacklevel: int = 4
+) -> tuple[EngineConfig, "ReplacementPolicy | None"]:
+    """Build an :class:`EngineConfig` from legacy flat kwargs (shim path).
+
+    Returns the config plus the replacement-policy *instance* when one was
+    passed directly (instances cannot ride in a JSON-serialisable config, so
+    the engine keeps using the object while the config records its name).
+    """
+    unknown = sorted(set(kwargs) - set(_LEGACY_ENGINE_KWARGS))
+    if unknown:
+        raise TypeError(f"unexpected engine kwarg(s) {unknown}")
+    if kwargs:
+        _warn_legacy(kwargs, stacklevel=stacklevel)
+    policy_instance: ReplacementPolicy | None = None
+    policy = kwargs.get("policy", "utility")
+    if isinstance(policy, ReplacementPolicy):
+        policy_instance = policy
+        # The config records the registered name when there is one; custom
+        # policy objects keep working but serialise as the default name.
+        policy = getattr(policy, "name", "utility")
+        if policy not in ("utility", "hit_rate", "fifo"):
+            policy = "utility"
+    cache = CacheConfig(
+        size=kwargs.get("cache_size", 500),
+        window=kwargs.get("window_size", 100),
+        policy=policy,
+    )
+    verifier = VerifierConfig(igq_compiled=kwargs.get("igq_compiled", True))
+    config = EngineConfig(
+        mode=kwargs.get("mode", SUBGRAPH_MODE),
+        enable_isub=kwargs.get("enable_isub", True),
+        enable_isuper=kwargs.get("enable_isuper", True),
+        cache=cache,
+        verifier=verifier,
+    )
+    return config, policy_instance
 
 
 @dataclass
@@ -119,68 +192,107 @@ class IGQ:
         Any :class:`~repro.methods.base.SubgraphQueryMethod` (the paper's
         ``M``); its index over the dataset graphs is built by
         :meth:`build_index`.
-    cache_size:
-        Maximum number of cached query graphs (``C``; paper default 500).
-    window_size:
-        Query-window size (``W``; paper default 100, with ``W <= C``).
-    policy:
-        Replacement policy name or instance (default: the paper's utility
-        policy).
-    mode:
-        ``"subgraph"`` (default) or ``"supergraph"`` — the query type this
-        engine instance serves (the cache stores answers of that type).
-    enable_isub / enable_isuper:
-        Switch either component off (used by the component ablation).
-    igq_compiled:
-        A/B flag for the compiled containment layer of the two component
-        indexes (default on): cached query graphs are compiled on insertion
-        and query-vs-query containment runs on the bitset kernel.
-        ``False`` restores the dict-based matcher per pair — answers,
-        hit/miss accounting and replacement state are identical either way.
+    config:
+        An :class:`~repro.core.config.EngineConfig` — the one public way to
+        configure the engine.  ``config.mode`` selects the query type
+        (``"subgraph"``, ``"supergraph"`` or ``"mixed"``: per-call dispatch),
+        ``config.cache`` sizes the query cache, ``config.verifier`` picks
+        the containment verifier and A/B flags, ``config.batch`` supplies
+        :meth:`run_batch` defaults.  Prefer :meth:`from_config`, which also
+        routes sharded configs to :class:`~repro.core.shard.ShardedIGQ`.
+    igq_verifier:
+        Injection point for a pre-configured containment verifier (tests,
+        A/B baselines); overrides ``config.verifier``'s constructed one.
+
+    The historical flat kwargs (``cache_size=``, ``window_size=``,
+    ``policy=``, ``mode=``, ``enable_isub=``, ``enable_isuper=``,
+    ``igq_compiled=``) still work as deprecation shims: they build the same
+    :class:`EngineConfig` and emit a :class:`DeprecationWarning` naming the
+    config field to move to.
     """
 
     def __init__(
         self,
         method: SubgraphQueryMethod,
-        cache_size: int = 500,
-        window_size: int = 100,
-        policy: str | ReplacementPolicy = "utility",
-        mode: str = SUBGRAPH_MODE,
-        enable_isub: bool = True,
-        enable_isuper: bool = True,
+        config: EngineConfig | None = None,
+        *,
         igq_verifier: Verifier | None = None,
-        igq_compiled: bool = True,
+        _policy_instance: ReplacementPolicy | None = None,
+        **legacy_kwargs,
     ) -> None:
-        if mode not in (SUBGRAPH_MODE, SUPERGRAPH_MODE):
-            raise ValueError(f"unknown mode {mode!r}")
-        if not enable_isub and not enable_isuper:
-            raise ValueError("at least one of Isub / Isuper must be enabled")
+        policy_instance = _policy_instance
+        if config is None:
+            config, policy_instance = _legacy_engine_config(legacy_kwargs)
+        elif legacy_kwargs:
+            raise ConfigError(
+                f"pass either config= or legacy kwargs, not both "
+                f"(got {sorted(legacy_kwargs)} alongside an EngineConfig)"
+            )
+        elif not isinstance(config, EngineConfig):
+            raise ConfigError(
+                f"config must be an EngineConfig, got {type(config).__name__} "
+                "(legacy positional cache_size is no longer accepted)"
+            )
+        if config.shard.shards > 1 and type(self) is IGQ:
+            raise ConfigError(
+                f"config.shard.shards={config.shard.shards} needs the sharded "
+                "engine; construct it through IGQ.from_config(method, config) "
+                "or ShardedIGQ directly"
+            )
+        self.config = config
         self.method = method
-        self.mode = mode
+        self.mode = config.mode
         self.name = f"igq_{method.name}"
-        if isinstance(policy, str):
-            policy = create_policy(policy)
-        self._igq_verifier = igq_verifier if igq_verifier is not None else Verifier()
-        self.igq_compiled = igq_compiled
+        policy = (
+            policy_instance
+            if policy_instance is not None
+            else create_policy(config.cache.policy)
+        )
+        self._igq_verifier = (
+            igq_verifier if igq_verifier is not None else config.verifier.build()
+        )
+        self.igq_compiled = config.verifier.igq_compiled
         self.cache = QueryCache()
         self.isub = (
-            SubgraphQueryIndex(self._igq_verifier, compiled=igq_compiled)
-            if enable_isub
+            SubgraphQueryIndex(self._igq_verifier, compiled=self.igq_compiled)
+            if config.enable_isub
             else None
         )
         self.isuper = (
-            SupergraphQueryIndex(self._igq_verifier, compiled=igq_compiled)
-            if enable_isuper
+            SupergraphQueryIndex(self._igq_verifier, compiled=self.igq_compiled)
+            if config.enable_isuper
             else None
         )
         self.maintenance = IndexMaintenance(
-            cache_size=cache_size, window_size=window_size, policy=policy
+            cache_size=config.cache.size, window_size=config.cache.window, policy=policy
         )
         self.database: GraphDatabase | None = None
         self._id_space: GraphIdSpace | None = None
         #: memoised ``entry_id -> answer bitmask`` for the cached entries;
         #: invalidated whenever a window flush changes the cache contents
         self._answer_masks: dict[int, int] = {}
+
+    @classmethod
+    def from_config(
+        cls,
+        method: SubgraphQueryMethod,
+        config: EngineConfig | None = None,
+        *,
+        igq_verifier: Verifier | None = None,
+    ) -> "IGQ":
+        """Construct the engine a config describes (the one public factory).
+
+        A config with ``shard.shards > 1`` yields a
+        :class:`~repro.core.shard.ShardedIGQ`; everything else yields the
+        single-shard engine.  ``config=None`` means all defaults.
+        """
+        if config is None:
+            config = EngineConfig()
+        if cls is IGQ and config.shard.shards > 1:
+            from .shard import ShardedIGQ
+
+            return ShardedIGQ(method, config, igq_verifier=igq_verifier)
+        return cls(method, config, igq_verifier=igq_verifier)
 
     @property
     def igq_verifier(self) -> Verifier:
@@ -218,26 +330,39 @@ class IGQ:
     # ------------------------------------------------------------------
     # Query processing
     # ------------------------------------------------------------------
-    def query(self, query: LabeledGraph) -> IGQQueryResult:
-        """Process one query of this engine's configured type."""
+    def query(self, query: LabeledGraph, mode: str | None = None) -> IGQQueryResult:
+        """Process one query — the engine's configured type, or ``mode``.
+
+        Fixed-mode engines (``"subgraph"`` / ``"supergraph"``) use their
+        configured type when ``mode`` is omitted; a mixed-mode engine serves
+        both types through this one endpoint and requires ``mode`` per call
+        (:class:`~repro.service.GraphQueryService` supplies it).
+        """
         if self.database is None:
             raise RuntimeError("IGQ.build_index() must be called before querying")
-        if self.mode == SUBGRAPH_MODE:
-            return self._process(query, supergraph=False)
-        return self._process(query, supergraph=True)
+        if mode is None:
+            if self.mode == MIXED_MODE:
+                raise ValueError(
+                    "a mixed-mode engine needs mode='subgraph' or "
+                    "mode='supergraph' per query (GraphQueryService passes it)"
+                )
+            mode = self.mode
+        validate_query_mode(mode)
+        self._require_mode(mode)
+        return self._process(query, supergraph=mode == SUPERGRAPH_MODE)
 
     def subgraph_query(self, query: LabeledGraph) -> IGQQueryResult:
-        """Process ``query`` as a subgraph query (requires subgraph mode)."""
+        """Process ``query`` as a subgraph query (requires subgraph/mixed mode)."""
         self._require_mode(SUBGRAPH_MODE)
         return self._process(query, supergraph=False)
 
     def supergraph_query(self, query: LabeledGraph) -> IGQQueryResult:
-        """Process ``query`` as a supergraph query (requires supergraph mode)."""
+        """Process ``query`` as a supergraph query (requires supergraph/mixed mode)."""
         self._require_mode(SUPERGRAPH_MODE)
         return self._process(query, supergraph=True)
 
     def _require_mode(self, mode: str) -> None:
-        if self.mode != mode:
+        if self.mode != mode and self.mode != MIXED_MODE:
             raise RuntimeError(
                 f"this IGQ instance is configured for {self.mode!r} queries; "
                 f"create a separate instance for {mode!r} queries"
@@ -294,6 +419,16 @@ class IGQ:
         # Stage 2 — the two iGQ components (Figure 6, threads 2 and 3).
         start = time.perf_counter()
         sub_hits, super_hits = self._component_hits(query, features)
+        if self.mode == MIXED_MODE:
+            # A mixed-mode cache holds subgraph- and supergraph-typed answer
+            # sets side by side; a hit only carries meaning for a query of
+            # the same type (a subgraph answer set says nothing about which
+            # dataset graphs a supergraph query contains), so restrict the
+            # hit lists before the exact-repeat check and the §5.1 credits.
+            # Fixed-mode engines skip this: every entry shares their mode.
+            mode = SUPERGRAPH_MODE if supergraph else SUBGRAPH_MODE
+            sub_hits = [e for e in sub_hits if e.tags.get("mode") == mode]
+            super_hits = [e for e in super_hits if e.tags.get("mode") == mode]
         exact_entry = self._find_exact(query, sub_hits, super_hits)
 
         if supergraph:
@@ -386,7 +521,9 @@ class IGQ:
         answers = CandidateBitmap(
             space, space.mask_of(verified) | plan.cache_answer_mask
         )
-        report = self._record_query(plan.query, plan.features, answers)
+        report = self._record_query(
+            plan.query, plan.features, answers, supergraph=plan.supergraph
+        )
         return IGQQueryResult(
             query_name=plan.query.name,
             answers=answers,
@@ -508,16 +645,20 @@ class IGQ:
             entry.record_hit(removable.bit_count(), cost_of(removable))
 
     def _record_query(
-        self, query: LabeledGraph, features, answers
+        self, query: LabeledGraph, features, answers, supergraph: bool = False
     ) -> MaintenanceReport | None:
         """Add the processed query to the window; flush it when full."""
         self.cache.note_query_processed()
+        # The entry is tagged with the *query's* type, not the engine's —
+        # identical for fixed-mode engines, and what lets a mixed-mode cache
+        # tell its two answer-set flavours apart.
+        mode = SUPERGRAPH_MODE if supergraph else SUBGRAPH_MODE
         window_full = self.maintenance.submit(
             PendingQuery(
                 graph=query,
                 features=features,
                 answer=frozenset(answers),
-                tags={"mode": self.mode},
+                tags={"mode": mode},
             )
         )
         if not window_full:
@@ -542,32 +683,72 @@ class IGQ:
     def run_batch(
         self,
         queries: list[LabeledGraph],
-        num_workers: int = 1,
-        backend: str = "auto",
-        chunk_size: int | None = None,
-        pipeline: bool = True,
+        num_workers=_UNSET,
+        backend=_UNSET,
+        chunk_size=_UNSET,
+        pipeline=_UNSET,
     ) -> list[IGQQueryResult]:
         """Process a batch of queries, optionally verifying in parallel.
 
-        With ``num_workers=1`` (the default) this is the deterministic
-        sequential path — exactly equivalent to calling :meth:`query` once
-        per query.  With more workers the verification stage of each query
-        is fanned out to a :mod:`concurrent.futures` pool and (unless
-        ``pipeline=False``) the next query is planned while the pool works;
-        answers, cache contents and replacement metadata stay identical to
-        the sequential run either way.  See
-        :class:`repro.core.batch.BatchExecutor` for the streaming API.
+        The execution parameters come from ``self.config.batch`` — with the
+        default :class:`~repro.core.config.BatchConfig` this is the
+        deterministic sequential path, exactly equivalent to calling
+        :meth:`query` once per query; with workers configured the
+        verification stage of each query fans out to a
+        :mod:`concurrent.futures` pool and (unless pipelining is off) the
+        next query is planned while the pool works.  Answers, cache contents
+        and replacement metadata are identical in every configuration.  The
+        flat ``num_workers=`` / ``backend=`` / ``chunk_size=`` /
+        ``pipeline=`` kwargs are deprecated shims over
+        ``EngineConfig.batch``.  See :class:`repro.core.batch.BatchExecutor`
+        for the streaming API.
         """
         from .batch import BatchExecutor
 
-        with BatchExecutor(
-            self,
-            num_workers=num_workers,
-            backend=backend,
-            chunk_size=chunk_size,
-            pipeline=pipeline,
-        ) as executor:
+        overrides = {
+            name: value
+            for name, value in (
+                ("num_workers", num_workers),
+                ("backend", backend),
+                ("chunk_size", chunk_size),
+                ("pipeline", pipeline),
+            )
+            if value is not _UNSET
+        }
+        batch = self.config.batch
+        if overrides:
+            mapping = ", ".join(
+                f"{name}= -> EngineConfig.batch.{name}" for name in sorted(overrides)
+            )
+            warnings.warn(
+                f"run_batch kwargs are deprecated; configure EngineConfig.batch "
+                f"instead ({mapping})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            batch = replace(batch, **overrides)
+        with BatchExecutor(self, config=batch) as executor:
             return executor.run_batch(queries)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine-owned execution resources (idempotent).
+
+        The single-shard engine owns none — verification pools belong to the
+        :class:`~repro.core.batch.BatchExecutor` driving it and shut down
+        with it — but the method is part of the engine contract so callers
+        (and :class:`~repro.service.GraphQueryService`) can close any engine
+        uniformly; :class:`~repro.core.shard.ShardedIGQ` terminates its
+        long-lived shard worker pools here.
+        """
+
+    def __enter__(self) -> "IGQ":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import warnings
 from bisect import bisect_right
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -54,7 +55,8 @@ from ..isomorphism.compiled import compile_query_plan, compile_target
 from ..isomorphism.verifier import Verifier
 from .batch import _init_worker, effective_cpu_count
 from .cache import CacheEntry
-from .engine import IGQ
+from .config import ConfigError, EngineConfig, ShardConfig
+from .engine import _UNSET, IGQ, _legacy_engine_config
 from .isub import SubgraphQueryIndex
 from .isuper import SupergraphQueryIndex
 from .maintenance import MaintenanceReport
@@ -630,9 +632,9 @@ class _ProcessShardRuntime:
             engine = self._engine
             method_payload = None
             if engine.method.database is not None:
-                method_payload = engine.method.verification_payload(
-                    supergraph=engine.mode == "supergraph"
-                )
+                # Mixed-mode engines precompile both verification directions
+                # into the snapshot; fixed-mode ones only their own.
+                method_payload = engine.method.verification_payload(mode=engine.mode)
             verifier = engine.igq_verifier.fresh_clone()
             self._pools = []
             for shard_id in range(engine.num_shards):
@@ -728,19 +730,20 @@ class _ProcessShardRuntime:
 class ShardedIGQ(IGQ):
     """iGQ engine whose query index is partitioned across delta-fed shards.
 
-    Parameters (on top of :class:`IGQ`'s)
-    -------------------------------------
-    shards:
+    Configured through :class:`~repro.core.config.EngineConfig` like the
+    base engine; its ``shard`` section supplies
+
+    ``shard.shards``:
         Number of cache partitions.  ``1`` (the default) is the A/B
         baseline: the engine behaves exactly like :class:`IGQ` — same code
         paths, no delta log.
-    shard_backend:
+    ``shard.backend``:
         One of :data:`SHARD_BACKENDS`.  ``"inline"`` keeps the replicas in
         the parent process (incremental delta maintenance, serial probes);
         ``"process"`` gives every shard a long-lived worker process that
         subscribes to the delta log; ``"auto"`` picks ``"process"`` when
         the machine has more than one usable CPU.
-    compact_threshold:
+    ``shard.compact_threshold``:
         Compact the delta log down to the slowest replica's position
         whenever it exceeds this many records.  Retained insert records
         keep their compiled payloads alive until they fold, so the
@@ -751,6 +754,13 @@ class ShardedIGQ(IGQ):
         entries' payloads it retains) then grows with the stream, so only
         use it when something else calls :meth:`DeltaLog.compact`.
 
+    The historical flat kwargs (``shards=``, ``shard_backend=``,
+    ``compact_threshold=``, plus :class:`IGQ`'s) remain as deprecation
+    shims building the same config.  Process-backed shard pools are
+    long-lived: call :meth:`close` (or use the engine as a context manager,
+    or let :class:`~repro.service.GraphQueryService` own it) to terminate
+    the workers deterministically.
+
     Whatever the configuration, answers, per-query accounting, cache
     contents and replacement metadata are byte-identical to ``shards=1``;
     the test suite asserts it and the ``bench_sharded`` CI gate enforces it
@@ -760,20 +770,57 @@ class ShardedIGQ(IGQ):
     def __init__(
         self,
         method,
-        shards: int = 1,
-        shard_backend: str = "auto",
-        compact_threshold: int | None = 1024,
-        **kwargs,
+        config: EngineConfig | None = None,
+        *,
+        igq_verifier: Verifier | None = None,
+        shards=_UNSET,
+        shard_backend=_UNSET,
+        compact_threshold=_UNSET,
+        **legacy_kwargs,
     ) -> None:
-        super().__init__(method, **kwargs)
-        if shards < 1:
-            raise ValueError("shards must be at least 1")
-        if shard_backend not in SHARD_BACKENDS:
-            raise ValueError(
-                f"unknown shard backend {shard_backend!r}; expected one of {SHARD_BACKENDS}"
+        shard_overrides = {
+            name: value
+            for name, value in (
+                ("shards", shards),
+                ("backend", shard_backend),
+                ("compact_threshold", compact_threshold),
             )
-        self.num_shards = shards
-        self.compact_threshold = compact_threshold
+            if value is not _UNSET
+        }
+        policy_instance = None
+        if config is None:
+            if shard_overrides:
+                mapping = ", ".join(
+                    f"{legacy}= -> EngineConfig.shard.{field_name}"
+                    for legacy, field_name in (
+                        ("shards", "shards"),
+                        ("shard_backend", "backend"),
+                        ("compact_threshold", "compact_threshold"),
+                    )
+                    if field_name in shard_overrides
+                )
+                warnings.warn(
+                    f"flat shard kwargs are deprecated; build an EngineConfig "
+                    f"instead ({mapping})",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            base_config, policy_instance = _legacy_engine_config(
+                legacy_kwargs, stacklevel=4
+            )
+            config = base_config.replace(shard=ShardConfig(**shard_overrides))
+        elif shard_overrides or legacy_kwargs:
+            raise ConfigError(
+                "pass either config= or legacy kwargs, not both (got "
+                f"{sorted(shard_overrides) + sorted(legacy_kwargs)} alongside "
+                "an EngineConfig)"
+            )
+        super().__init__(
+            method, config, igq_verifier=igq_verifier, _policy_instance=policy_instance
+        )
+        self.num_shards = config.shard.shards
+        self.compact_threshold = config.shard.compact_threshold
+        shard_backend = config.shard.backend
         #: which components the shard replicas serve (captured before the
         #: in-process indexes are handed over to the shards)
         self.probe_isub = self.isub is not None
@@ -781,7 +828,7 @@ class ShardedIGQ(IGQ):
         self.delta_log: DeltaLog | None = None
         self.shard_runtime = None
         self._entry_shard: dict[int, int] = {}
-        if shards == 1:
+        if self.num_shards == 1:
             # A/B baseline: exactly today's single-shard engine.
             self.shard_backend = "inline"
             return
@@ -895,16 +942,24 @@ class ShardedIGQ(IGQ):
             total += self.shard_runtime.estimated_size_bytes()
         return total
 
+    def shard_balance(self) -> list[int]:
+        """Live cache entries per shard (service introspection).
+
+        A heavily skewed balance on a Zipf workload is the signal the
+        ROADMAP's hot-key-replication item exists to address.
+        """
+        counts = [0] * self.num_shards
+        if self.num_shards == 1:
+            counts[0] = len(self.cache)
+        else:
+            for shard_id in self._entry_shard.values():
+                counts[shard_id] += 1
+        return counts
+
     def close(self) -> None:
         """Shut down the shard runtime (worker pools); idempotent."""
         if self.shard_runtime is not None:
             self.shard_runtime.close()
-
-    def __enter__(self) -> "ShardedIGQ":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 
 from ..core.batch import BatchExecutor
+from ..core.config import BatchConfig, CacheConfig, EngineConfig
 from ..core.engine import IGQ
 from ..datasets.registry import dataset_spec, load_dataset
 from ..graphs.database import GraphDatabase
@@ -108,6 +109,30 @@ class ExperimentConfig:
                 self.window_size
                 if self.window_size is not None
                 else _DEFAULT_WINDOW[self.dataset]
+            ),
+        )
+
+    def engine_config(self) -> EngineConfig:
+        """The :class:`EngineConfig` this experiment's iGQ engine runs under.
+
+        One typed object carries everything that used to be re-threaded as
+        flat kwargs into ``IGQ(...)`` and ``BatchExecutor(...)``; the batch
+        section also drives the *base* stream, so both sides of a speedup
+        comparison share one execution configuration.
+        """
+        resolved = self.resolved()
+        return EngineConfig(
+            cache=CacheConfig(
+                size=resolved.cache_size,
+                window=resolved.window_size,
+                policy=resolved.policy,
+            ),
+            enable_isub=resolved.enable_isub,
+            enable_isuper=resolved.enable_isuper,
+            batch=BatchConfig(
+                num_workers=resolved.num_workers,
+                backend=resolved.batch_backend,
+                memoize_features=resolved.memoize_features,
             ),
         )
 
@@ -258,12 +283,12 @@ def run_base_stream(
     """
     metrics = StreamMetrics(label=label)
     measured = queries[warmup:]
-    with BatchExecutor(
-        method,
+    batch = BatchConfig(
         num_workers=num_workers,
         backend=backend,
         memoize_features=memoize_features,
-    ) as executor:
+    )
+    with BatchExecutor(method, config=batch) as executor:
         for query, result in zip(measured, executor.run_stream(measured)):
             metrics.add(result, query)
     return metrics
@@ -277,23 +302,12 @@ def run_igq_stream(
 ) -> tuple[StreamMetrics, IGQ]:
     """Run iGQ+method over the stream (warm-up excluded from the metrics)."""
     config = config.resolved()
-    engine = IGQ(
-        method,
-        cache_size=config.cache_size,
-        window_size=config.window_size,
-        policy=config.policy,
-        enable_isub=config.enable_isub,
-        enable_isuper=config.enable_isuper,
-    )
+    engine_config = config.engine_config()
+    engine = IGQ.from_config(method, engine_config)
     engine.attach_prebuilt()
     metrics = StreamMetrics(label=label)
     warmup = config.window_size
-    with BatchExecutor(
-        engine,
-        num_workers=config.num_workers,
-        backend=config.batch_backend,
-        memoize_features=config.memoize_features,
-    ) as executor:
+    with BatchExecutor(engine, config=engine_config.batch) as executor:
         for _ in executor.run_stream(queries[:warmup]):
             pass
         for query, result in zip(queries[warmup:], executor.run_stream(queries[warmup:])):

@@ -304,7 +304,9 @@ class SubgraphQueryMethod(ABC):
         )
 
     # ------------------------------------------------------------------
-    def verification_snapshot(self, supergraph: bool = False) -> "SubgraphQueryMethod":
+    def verification_snapshot(
+        self, supergraph: bool = False, mode: str | None = None
+    ) -> "SubgraphQueryMethod":
         """A shallow copy carrying only what the verification stage needs.
 
         The batch executor ships this snapshot to its worker processes, so
@@ -313,11 +315,13 @@ class SubgraphQueryMethod(ABC):
         the per-graph feature tables; methods whose ``verify`` consults
         extra state override this (Grapes keeps its location tables).
 
-        The compiled representation the configured query direction consumes
-        — bitset targets for subgraph queries, matching plans when
-        ``supergraph`` (dataset graphs play the pattern role there) — is
-        materialised first so the snapshot carries it: compilation then
-        happens once in the parent instead of once per worker process.
+        The compiled representation the served query direction consumes —
+        bitset targets for subgraph queries, matching plans for supergraph
+        queries (dataset graphs play the pattern role there), both for a
+        ``"mixed"`` engine — is materialised first so the snapshot carries
+        it: compilation then happens once in the parent instead of once per
+        worker process.  ``mode`` (``"subgraph"`` / ``"supergraph"`` /
+        ``"mixed"``) supersedes the legacy boolean ``supergraph`` flag.
 
         The snapshot gets a fresh verifier with the parent's configuration:
         workers report statistic *deltas*, so shipping the parent's
@@ -326,14 +330,21 @@ class SubgraphQueryMethod(ABC):
         ride along so an A/B run (``compiled=False`` / ``precheck=False``)
         keeps its meaning on the pool.
         """
+        if mode is None:
+            mode = "supergraph" if supergraph else "subgraph"
         if self.database is not None and self.verifier.supports_compiled():
-            self.database.precompile(targets=not supergraph, plans=supergraph)
+            self.database.precompile(
+                targets=mode in ("subgraph", "mixed"),
+                plans=mode in ("supergraph", "mixed"),
+            )
         clone = copy.copy(self)
         clone._graph_features = {}
         clone.verifier = self.verifier.fresh_clone()
         return clone
 
-    def verification_payload(self, supergraph: bool = False) -> bytes:
+    def verification_payload(
+        self, supergraph: bool = False, mode: str | None = None
+    ) -> bytes:
         """Pickled :meth:`verification_snapshot`, ready to ship to a worker.
 
         One serialisation serves every long-lived worker process holding the
@@ -344,7 +355,7 @@ class SubgraphQueryMethod(ABC):
         (see :mod:`repro.core.shard`), so it is never re-snapshotted.
         """
         return pickle.dumps(
-            self.verification_snapshot(supergraph=supergraph),
+            self.verification_snapshot(supergraph=supergraph, mode=mode),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
 

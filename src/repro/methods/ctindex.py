@@ -94,9 +94,11 @@ class CTIndexMethod(SubgraphQueryMethod):
                 mask |= space.bit(graph_id)
         return CandidateBitmap(space, mask)
 
-    def verification_snapshot(self, supergraph: bool = False) -> "CTIndexMethod":
+    def verification_snapshot(
+        self, supergraph: bool = False, mode: str | None = None
+    ) -> "CTIndexMethod":
         """Worker-side copy without the fingerprint table."""
-        clone = super().verification_snapshot(supergraph=supergraph)
+        clone = super().verification_snapshot(supergraph=supergraph, mode=mode)
         clone._bitmaps = {}
         return clone
 

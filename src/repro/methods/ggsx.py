@@ -64,9 +64,11 @@ class GGSXMethod(SubgraphQueryMethod):
             features = self.extract_query_features(query)
         return dominance_candidate_mask(self._trie, features, self.id_space)
 
-    def verification_snapshot(self, supergraph: bool = False) -> "GGSXMethod":
+    def verification_snapshot(
+        self, supergraph: bool = False, mode: str | None = None
+    ) -> "GGSXMethod":
         """Worker-side copy without the path trie (verify never reads it)."""
-        clone = super().verification_snapshot(supergraph=supergraph)
+        clone = super().verification_snapshot(supergraph=supergraph, mode=mode)
         clone._trie = FeatureTrie()
         return clone
 

@@ -181,14 +181,16 @@ class GrapesMethod(SubgraphQueryMethod):
                 answers.add(graph_id)
         return answers
 
-    def verification_snapshot(self, supergraph: bool = False) -> "GrapesMethod":
+    def verification_snapshot(
+        self, supergraph: bool = False, mode: str | None = None
+    ) -> "GrapesMethod":
         """Worker-side copy without the trie, keeping the location tables —
         component-restricted verification reads them.  The base snapshot
         precompiles and ships the compiled representation the direction
         consumes (whole-graph bitset targets for subgraph verification —
         region-masked matching restricts them per component — and matching
         plans for the supergraph direction)."""
-        clone = super().verification_snapshot(supergraph=supergraph)
+        clone = super().verification_snapshot(supergraph=supergraph, mode=mode)
         clone._graph_features = self._graph_features
         clone._trie = FeatureTrie()
         return clone

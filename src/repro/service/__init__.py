@@ -1,0 +1,25 @@
+"""Service layer: the session façade over the iGQ engine.
+
+:class:`GraphQueryService` is the intended public entry point for
+applications — one context-managed object owning engine construction
+(from a typed :class:`~repro.core.config.EngineConfig`), dataset indexing,
+worker-pool lifecycle, a single ``query()`` endpoint serving subgraph *and*
+supergraph queries, futures-based submission with bounded backpressure, and
+structured introspection (:class:`ServiceReport`).
+"""
+
+from .service import (
+    GraphQueryService,
+    ServiceClosed,
+    ServiceReport,
+    ServiceSession,
+    SessionStats,
+)
+
+__all__ = [
+    "GraphQueryService",
+    "ServiceClosed",
+    "ServiceReport",
+    "ServiceSession",
+    "SessionStats",
+]

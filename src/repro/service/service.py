@@ -1,0 +1,615 @@
+"""`GraphQueryService`: the one public front door to the iGQ engine.
+
+The engine layer grew four generations of execution machinery — batch
+executor, compiled verification, unified containment, sharded cache — each
+reachable through its own flags and each owning long-lived resources
+(verification pools, per-shard worker processes) with no single place that
+opens and closes them.  :class:`GraphQueryService` packages all of it behind
+a session object:
+
+* **Lifecycle** — ``with GraphQueryService(method, config, database=db) as
+  service:`` builds the engine :meth:`~repro.core.engine.IGQ.from_config`
+  describes (single-shard or sharded), indexes the dataset, starts the
+  execution driver, and on exit deterministically shuts down every worker
+  pool (the batch executor's and the shard runtime's).
+
+* **One endpoint** — :meth:`GraphQueryService.query` serves *both* query
+  types (``mode="subgraph"`` / ``"supergraph"``) against one shared engine;
+  a mixed stream keeps the two answer-set flavours apart in the cache while
+  sharing window, replacement policy and shard partitions.
+
+* **Asynchrony with sequential semantics** — :meth:`submit` enqueues a query
+  and returns a :class:`~concurrent.futures.Future`; :meth:`stream` pipes an
+  iterable through with bounded in-flight backpressure, yielding results in
+  submission order.  Execution happens on a single driver thread feeding the
+  deterministic :class:`~repro.core.batch.BatchExecutor`, so answers,
+  accounting, cache contents and replacement state are byte-identical to a
+  plain sequential ``engine.query()`` loop — whatever the batch/shard
+  configuration.
+
+* **Introspection** — :meth:`stats` returns a :class:`ServiceReport` (cache
+  hit rates, per-stage timings, shard balance, per-session accounting);
+  :meth:`session` opens named sub-accounts over the shared engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_module
+import threading
+from collections import deque
+from collections.abc import Iterable, Iterator
+from concurrent.futures import Future
+from dataclasses import dataclass, replace as dataclass_replace
+
+from ..core.batch import DRAIN, BatchExecutor
+from ..core.config import (
+    MIXED_MODE,
+    SUPERGRAPH_MODE,
+    ConfigError,
+    EngineConfig,
+    validate_query_mode,
+)
+from ..core.engine import IGQ, IGQQueryResult
+from ..graphs.database import GraphDatabase
+from ..graphs.graph import LabeledGraph
+from ..methods.base import SubgraphQueryMethod
+
+__all__ = ["ServiceClosed", "SessionStats", "ServiceReport", "ServiceSession", "GraphQueryService"]
+
+#: queue sentinel closing the driver's task stream
+_CLOSE = object()
+
+
+class ServiceClosed(RuntimeError):
+    """The service is not open (never opened, closed, or driver failed)."""
+
+
+@dataclass
+class SessionStats:
+    """Accounting for one session (or the service-wide totals)."""
+
+    name: str
+    queries: int = 0
+    subgraph_queries: int = 0
+    supergraph_queries: int = 0
+    #: queries answered straight from the cache (§4.3 exact repeat)
+    exact_hits: int = 0
+    #: queries that skipped verification entirely
+    verification_skipped: int = 0
+    #: queries with at least one component hit (drives the hit rate)
+    hit_queries: int = 0
+    sub_hits: int = 0
+    super_hits: int = 0
+    isomorphism_tests: int = 0
+    guaranteed_answers: int = 0
+    pruned_candidates: int = 0
+    filter_seconds: float = 0.0
+    igq_seconds: float = 0.0
+    verify_seconds: float = 0.0
+
+    def record(self, result: IGQQueryResult, supergraph: bool) -> None:
+        """Fold one query result into the counters."""
+        self.queries += 1
+        if supergraph:
+            self.supergraph_queries += 1
+        else:
+            self.subgraph_queries += 1
+        self.exact_hits += bool(result.exact_hit)
+        self.verification_skipped += bool(result.verification_skipped)
+        self.hit_queries += bool(result.num_sub_hits or result.num_super_hits)
+        self.sub_hits += result.num_sub_hits
+        self.super_hits += result.num_super_hits
+        self.isomorphism_tests += result.num_isomorphism_tests
+        self.guaranteed_answers += len(result.guaranteed_answers)
+        self.pruned_candidates += len(result.pruned_candidates)
+        self.filter_seconds += result.filter_seconds
+        self.igq_seconds += result.igq_seconds
+        self.verify_seconds += result.verify_seconds
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries with at least one query-index hit."""
+        return self.hit_queries / self.queries if self.queries else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total engine time across the three stages."""
+        return self.filter_seconds + self.igq_seconds + self.verify_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "queries": self.queries,
+            "subgraph_queries": self.subgraph_queries,
+            "supergraph_queries": self.supergraph_queries,
+            "exact_hits": self.exact_hits,
+            "verification_skipped": self.verification_skipped,
+            "hit_queries": self.hit_queries,
+            "hit_rate": self.hit_rate,
+            "sub_hits": self.sub_hits,
+            "super_hits": self.super_hits,
+            "isomorphism_tests": self.isomorphism_tests,
+            "guaranteed_answers": self.guaranteed_answers,
+            "pruned_candidates": self.pruned_candidates,
+            "filter_seconds": self.filter_seconds,
+            "igq_seconds": self.igq_seconds,
+            "verify_seconds": self.verify_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Structured snapshot of a service's state (``service.stats()``)."""
+
+    #: the engine configuration, in :meth:`EngineConfig.to_dict` form
+    config: dict
+    #: service-wide accounting
+    totals: SessionStats
+    #: per-session accounting, keyed by session name
+    sessions: dict[str, SessionStats]
+    #: live cached queries / configured capacity
+    cache_size: int
+    cache_capacity: int
+    #: engine-global query counter (includes warm-up, drives M(g))
+    queries_seen: int
+    #: cache partitions and their live-entry balance
+    shards: int
+    shard_backend: str
+    shard_balance: list[int]
+    #: batch-executor counters (feature memo, pool usage, pipelining)
+    feature_memo_hits: int
+    feature_memo_misses: int
+    parallel_verifications: int
+    sequential_verifications: int
+    pipelined_plans: int
+    pipeline_replans: int
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (dashboards, experiment archives)."""
+        return {
+            "config": self.config,
+            "totals": self.totals.as_dict(),
+            "sessions": {name: stats.as_dict() for name, stats in self.sessions.items()},
+            "cache": {
+                "size": self.cache_size,
+                "capacity": self.cache_capacity,
+                "queries_seen": self.queries_seen,
+                "hit_rate": self.totals.hit_rate,
+            },
+            "shards": {
+                "count": self.shards,
+                "backend": self.shard_backend,
+                "balance": self.shard_balance,
+            },
+            "executor": {
+                "feature_memo_hits": self.feature_memo_hits,
+                "feature_memo_misses": self.feature_memo_misses,
+                "parallel_verifications": self.parallel_verifications,
+                "sequential_verifications": self.sequential_verifications,
+                "pipelined_plans": self.pipelined_plans,
+                "pipeline_replans": self.pipeline_replans,
+            },
+        }
+
+
+@dataclass
+class _Task:
+    """One submitted query travelling from :meth:`submit` to the driver."""
+
+    query: LabeledGraph
+    mode: str
+    future: Future
+    session: SessionStats | None
+
+
+class ServiceSession:
+    """A named accounting scope over a shared service (context-managed).
+
+    Sessions do not partition the engine — the cache, window and shard
+    state are deliberately shared so one tenant's cached queries speed up
+    another's (the iGQ premise) — they partition the *accounting*: each
+    session sees its own query counts, hit rates and timings in
+    :meth:`GraphQueryService.stats`.
+    """
+
+    def __init__(self, service: "GraphQueryService", stats: SessionStats) -> None:
+        self._service = service
+        self.stats = stats
+
+    @property
+    def name(self) -> str:
+        return self.stats.name
+
+    def submit(self, query: LabeledGraph, mode: str | None = None) -> Future:
+        """Enqueue a query under this session's accounting."""
+        return self._service.submit(query, mode, session=self.stats)
+
+    def query(self, query: LabeledGraph, mode: str | None = None) -> IGQQueryResult:
+        """Process one query synchronously under this session."""
+        return self.submit(query, mode).result()
+
+    def stream(
+        self, queries: Iterable, mode: str | None = None, max_in_flight: int | None = None
+    ) -> Iterator[IGQQueryResult]:
+        """Ordered streaming execution under this session's accounting."""
+        return self._service.stream(
+            queries, mode, max_in_flight=max_in_flight, session=self.stats
+        )
+
+    def __enter__(self) -> "ServiceSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Sessions hold no resources; closing is purely syntactic."""
+
+    def __repr__(self) -> str:
+        return f"<ServiceSession {self.stats.name!r} queries={self.stats.queries}>"
+
+
+class GraphQueryService:
+    """Session façade over one iGQ engine (see module docstring).
+
+    Parameters
+    ----------
+    method:
+        The base filter-then-verify method to wrap.  Alternatively pass a
+        ready-made engine via ``engine=`` (the service then *owns* it:
+        closing the service closes the engine).
+    config:
+        The :class:`~repro.core.config.EngineConfig` describing the engine
+        and its execution machinery; defaults to ``EngineConfig()``.  A
+        config with ``mode="mixed"`` makes per-call ``mode=`` mandatory.
+    database:
+        Dataset to index on :meth:`open`.  May be omitted when the method
+        (or engine) already carries a built index.
+    max_in_flight:
+        Backpressure bound: the maximum number of submitted-but-unresolved
+        queries; :meth:`submit` blocks once it is reached.
+    """
+
+    def __init__(
+        self,
+        method: SubgraphQueryMethod | None = None,
+        config: EngineConfig | None = None,
+        *,
+        engine: IGQ | None = None,
+        database: GraphDatabase | None = None,
+        max_in_flight: int = 32,
+    ) -> None:
+        if (method is None) == (engine is None):
+            raise ConfigError(
+                "pass exactly one of method= (with an optional config) or "
+                "engine= (a prebuilt IGQ/ShardedIGQ)"
+            )
+        if max_in_flight < 1:
+            raise ConfigError(
+                f"max_in_flight={max_in_flight!r} is not valid; expected an integer >= 1"
+            )
+        if engine is not None:
+            if config is not None:
+                raise ConfigError(
+                    "engine= already carries its configuration; drop config="
+                )
+            self.engine = engine
+        else:
+            self.engine = IGQ.from_config(method, config)
+        self.config = self.engine.config
+        self.max_in_flight = max_in_flight
+        self._database = database
+        self._executor: BatchExecutor | None = None
+        self._queue: queue_module.Queue = queue_module.Queue()
+        self._driver: threading.Thread | None = None
+        self._slots = threading.BoundedSemaphore(max_in_flight)
+        self._pending: deque[_Task] = deque()
+        self._inflight = 0
+        self._opened = False
+        self._closed = False
+        self._error: BaseException | None = None
+        self._state_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self.totals = SessionStats(name="total")
+        self._sessions: dict[str, SessionStats] = {}
+        self._session_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "GraphQueryService":
+        """Build/attach the dataset index and start the execution driver."""
+        with self._state_lock:
+            if self._opened and not self._closed:
+                return self
+            if self._closed:
+                raise ServiceClosed("a closed service cannot be reopened; create a new one")
+            if self.engine.database is None:
+                if self._database is not None:
+                    self.engine.build_index(self._database)
+                elif self.engine.method.database is not None:
+                    self.engine.attach_prebuilt()
+                else:
+                    raise ServiceClosed(
+                        "no dataset to serve: pass database= to the service or "
+                        "build the method's index before opening"
+                    )
+            self._executor = BatchExecutor(self.engine, config=self.config.batch)
+            self._driver = threading.Thread(
+                target=self._drive, name="graph-query-service", daemon=True
+            )
+            self._opened = True
+        self._driver.start()
+        return self
+
+    def close(self) -> None:
+        """Drain submitted work, then shut every worker pool down (idempotent).
+
+        Queries already submitted are completed (their futures resolve);
+        afterwards the batch executor's verification pool and the engine's
+        shard worker pools are terminated and joined.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            started = self._driver is not None
+        if started:
+            self._queue.put(_CLOSE)
+            self._driver.join()
+            self._executor.close()
+        # Fail anything that raced into the queue behind the close marker.
+        while True:
+            try:
+                task = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if isinstance(task, _Task):
+                task.future.set_exception(ServiceClosed("service closed"))
+        self.engine.close()
+
+    @property
+    def is_open(self) -> bool:
+        return self._opened and not self._closed and self._error is None
+
+    def __enter__(self) -> "GraphQueryService":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The front door
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: LabeledGraph,
+        mode: str | None = None,
+        *,
+        session: SessionStats | None = None,
+    ) -> Future:
+        """Enqueue one query; returns a future resolving to its result.
+
+        Queries execute strictly in submission order on the service driver
+        (concurrency lives inside the verification stage, per the engine's
+        batch/shard config), so the future of query *i* never resolves
+        after that of query *i+1*.  Blocks while ``max_in_flight``
+        submissions are outstanding — the service's backpressure.
+        """
+        mode = self._resolve_mode(mode)
+        if not self.is_open:
+            if self._error is not None:
+                raise ServiceClosed("the service driver failed") from self._error
+            raise ServiceClosed("the service is not open; use it as a context manager")
+        self._slots.acquire()
+        # Re-check under the state lock: close() drains the queue exactly
+        # once and _fail() sets _error before its drain, both ordered with
+        # this critical section — so a task either lands in the queue while
+        # a consumer (driver drain included) is still coming, or the
+        # submission fails fast here; it can never be enqueued and orphaned.
+        with self._state_lock:
+            if self._closed:
+                self._slots.release()
+                raise ServiceClosed("the service closed while the submission waited")
+            if self._error is not None:
+                self._slots.release()
+                raise ServiceClosed("the service driver failed") from self._error
+            future: Future = Future()
+            self._queue.put(_Task(query=query, mode=mode, future=future, session=session))
+        return future
+
+    def query(
+        self, query: LabeledGraph, mode: str | None = None
+    ) -> IGQQueryResult:
+        """Process one query synchronously (submit + wait).
+
+        The single endpoint for both query types: ``mode="subgraph"`` asks
+        which dataset graphs *contain* the query, ``mode="supergraph"``
+        which are *contained in* it; omitted, the engine's configured mode
+        applies.
+        """
+        return self.submit(query, mode).result()
+
+    def stream(
+        self,
+        queries: Iterable,
+        mode: str | None = None,
+        *,
+        max_in_flight: int | None = None,
+        session: SessionStats | None = None,
+    ) -> Iterator[IGQQueryResult]:
+        """Pipe an iterable of queries through; yield results in order.
+
+        Items are query graphs or ``(query, mode)`` pairs (mixed streams).
+        At most ``max_in_flight`` queries are outstanding at once — the
+        streaming backpressure bound — while the executor plans ahead and
+        verifies on its pool within that window.
+        """
+        limit = max_in_flight if max_in_flight is not None else self.max_in_flight
+        if limit < 1:
+            raise ConfigError(
+                f"max_in_flight={limit!r} is not valid; expected an integer >= 1"
+            )
+        window: deque[Future] = deque()
+        for item in queries:
+            if isinstance(item, tuple):
+                item_query, item_mode = item
+            else:
+                item_query, item_mode = item, mode
+            while len(window) >= limit:
+                yield window.popleft().result()
+            window.append(self.submit(item_query, item_mode, session=session))
+        while window:
+            yield window.popleft().result()
+
+    def run(
+        self, queries: Iterable, mode: str | None = None
+    ) -> list[IGQQueryResult]:
+        """Convenience: :meth:`stream` collected into a list."""
+        return list(self.stream(queries, mode))
+
+    def _resolve_mode(self, mode: str | None) -> str:
+        if mode is None:
+            if self.engine.mode == MIXED_MODE:
+                raise ValueError(
+                    "this service runs a mixed-mode engine: pass "
+                    "mode='subgraph' or mode='supergraph' per query"
+                )
+            return self.engine.mode
+        validate_query_mode(mode)
+        if self.engine.mode not in (mode, MIXED_MODE):
+            raise ValueError(
+                f"this service serves {self.engine.mode!r} queries; configure "
+                f"EngineConfig(mode='mixed') to dispatch both types"
+            )
+        return mode
+
+    # ------------------------------------------------------------------
+    # Sessions and introspection
+    # ------------------------------------------------------------------
+    def session(self, name: str | None = None) -> ServiceSession:
+        """Open a named accounting scope sharing this service's engine."""
+        with self._stats_lock:
+            if name is None:
+                name = f"session-{next(self._session_counter)}"
+            if name in self._sessions:
+                raise ValueError(f"session {name!r} already exists")
+            stats = SessionStats(name=name)
+            self._sessions[name] = stats
+        return ServiceSession(self, stats)
+
+    def stats(self) -> ServiceReport:
+        """A structured snapshot of cache, executor and session state."""
+        engine = self.engine
+        shard_balance = (
+            engine.shard_balance()
+            if hasattr(engine, "shard_balance")
+            else [len(engine.cache)]
+        )
+        executor_stats = self._executor.stats if self._executor is not None else None
+        with self._stats_lock:
+            totals = dataclass_replace(self.totals)
+            sessions = {
+                name: dataclass_replace(stats) for name, stats in self._sessions.items()
+            }
+        return ServiceReport(
+            config=self.config.to_dict(),
+            totals=totals,
+            sessions=sessions,
+            cache_size=len(engine.cache),
+            cache_capacity=engine.maintenance.cache_size,
+            queries_seen=engine.cache.query_counter,
+            shards=getattr(engine, "num_shards", 1),
+            shard_backend=getattr(engine, "shard_backend", "inline"),
+            shard_balance=shard_balance,
+            feature_memo_hits=executor_stats.feature_memo_hits if executor_stats else 0,
+            feature_memo_misses=executor_stats.feature_memo_misses if executor_stats else 0,
+            parallel_verifications=(
+                executor_stats.parallel_verifications if executor_stats else 0
+            ),
+            sequential_verifications=(
+                executor_stats.sequential_verifications if executor_stats else 0
+            ),
+            pipelined_plans=executor_stats.pipelined_plans if executor_stats else 0,
+            pipeline_replans=executor_stats.pipeline_replans if executor_stats else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Driver internals
+    # ------------------------------------------------------------------
+    def _drive(self) -> None:
+        """Single driver thread: feed the executor, resolve futures in order."""
+        try:
+            for result in self._executor.run_stream(self._task_source()):
+                self._resolve(result)
+        except BaseException as exc:  # noqa: BLE001 - must reach the futures
+            self._fail(exc)
+
+    def _task_source(self) -> Iterator:
+        """Yield executor stream items from the submission queue.
+
+        The executor asks for the next item *before* completing the one in
+        flight (that is what lets it plan ahead); a caller waiting on the
+        in-flight future may never submit again, so when the queue is empty
+        while something is dispatched this yields :data:`DRAIN`, telling the
+        executor to finish and emit the pending query instead of blocking.
+        """
+        while True:
+            if self._inflight:
+                try:
+                    task = self._queue.get_nowait()
+                except queue_module.Empty:
+                    yield DRAIN
+                    continue
+            else:
+                task = self._queue.get()
+            if task is _CLOSE:
+                return
+            if not task.future.set_running_or_notify_cancel():
+                # Cancelled before execution; hand its slot back.
+                self._slots.release()
+                continue
+            self._pending.append(task)
+            self._inflight += 1
+            yield (task.query, task.mode)
+
+    def _resolve(self, result: IGQQueryResult) -> None:
+        task = self._pending.popleft()
+        self._inflight -= 1
+        with self._stats_lock:
+            supergraph = task.mode == SUPERGRAPH_MODE
+            self.totals.record(result, supergraph)
+            if task.session is not None:
+                task.session.record(result, supergraph)
+        self._slots.release()
+        task.future.set_result(result)
+
+    def _fail(self, exc: BaseException) -> None:
+        """Driver died: surface the error on every outstanding future."""
+        # Publish the error under the state lock so it orders with submit()'s
+        # enqueue: every task enqueued before this point is still in the
+        # queue when the drain below runs, and no task can be enqueued after
+        # it (submit re-checks _error in the same critical section).  The
+        # drain itself runs outside the lock — set_exception may invoke
+        # caller-supplied done-callbacks.
+        with self._state_lock:
+            self._error = exc
+        while self._pending:
+            task = self._pending.popleft()
+            self._inflight -= 1
+            self._slots.release()
+            task.future.set_exception(exc)
+        while True:
+            try:
+                task = self._queue.get_nowait()
+            except queue_module.Empty:
+                break
+            if isinstance(task, _Task):
+                self._slots.release()
+                task.future.set_exception(exc)
+
+    def __repr__(self) -> str:
+        state = "open" if self.is_open else ("closed" if self._closed else "new")
+        return (
+            f"<GraphQueryService {state} engine={self.engine.name!r} "
+            f"{self.config.describe()}>"
+        )

@@ -1,0 +1,332 @@
+"""Tests for the typed engine configuration (:mod:`repro.core.config`).
+
+Three contracts:
+
+* **Round-trip** — ``EngineConfig.from_dict(config.to_dict()) == config``
+  for defaults and for fully customised configs, through JSON included.
+* **Validation** — invalid values (negative cache size, unknown backend,
+  unknown keys, W > C, both components off) raise :class:`ConfigError`
+  with a message naming the field and the accepted values.
+* **Equivalence + shims** — an engine built from a config is byte-identical
+  (answers, accounting, cache and replacement state) to one built from the
+  legacy flat kwargs; the flat kwargs still work but emit a
+  ``DeprecationWarning`` pointing at the config field, and the new API
+  itself emits none (this module runs with DeprecationWarning as error).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    IGQ,
+    BatchConfig,
+    CacheConfig,
+    ConfigError,
+    EngineConfig,
+    ShardConfig,
+    ShardedIGQ,
+    VerifierConfig,
+)
+from repro.datasets.registry import load_dataset
+from repro.methods import create_method
+from repro.workloads.generator import QueryGenerator, WorkloadSpec
+
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
+
+
+@pytest.fixture(scope="module")
+def database():
+    return load_dataset("synthetic", scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def stream(database):
+    spec = WorkloadSpec(
+        name="zipf", graph_distribution="zipf", node_distribution="zipf",
+        alpha=1.3, seed=11,
+    )
+    pool = QueryGenerator(database, spec).generate(10)
+    # Repeats give the query index something to hit.
+    return (pool + pool[:6] + pool[3:8])[:24]
+
+
+def engine_fingerprint(engine, results):
+    """Answers, accounting, cache contents and replacement state as a tuple."""
+    answers = [tuple(sorted(map(repr, result.answers))) for result in results]
+    accounting = [
+        (
+            result.num_isomorphism_tests,
+            result.num_sub_hits,
+            result.num_super_hits,
+            result.exact_hit,
+            result.verification_skipped,
+        )
+        for result in results
+    ]
+    cache_state = sorted(
+        (
+            entry.entry_id,
+            entry.graph.name,
+            tuple(sorted(map(repr, entry.answer))),
+            entry.hits,
+            entry.removed,
+            round(entry.alleviated_cost, 9),
+            entry.added_at,
+            entry.tags.get("mode"),
+        )
+        for entry in engine.cache.entries()
+    )
+    return (answers, accounting, cache_state)
+
+
+# ----------------------------------------------------------------------
+# Round-trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_default_round_trip(self):
+        config = EngineConfig()
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_custom_round_trip(self):
+        config = EngineConfig(
+            mode="mixed",
+            enable_isuper=False,
+            cache=CacheConfig(size=64, window=16, policy="hit_rate"),
+            verifier=VerifierConfig(algorithm="ullmann", compiled=False, precheck=False),
+            batch=BatchConfig(num_workers=4, backend="thread", chunk_size=8,
+                              pipeline=False, memoize_features=False),
+            shard=ShardConfig(shards=4, backend="inline", compact_threshold=None),
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip(self):
+        config = EngineConfig(
+            mode="supergraph",
+            cache=CacheConfig(size=10, window=5),
+            shard=ShardConfig(shards=2, backend="process"),
+        )
+        restored = EngineConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_partial_dict_fills_defaults(self):
+        config = EngineConfig.from_dict({"cache": {"size": 7, "window": 3}})
+        assert config.cache == CacheConfig(size=7, window=3)
+        assert config.batch == BatchConfig()
+        assert config.mode == "subgraph"
+
+    def test_sections_accept_plain_dicts(self):
+        config = EngineConfig(cache={"size": 12, "window": 4}, shard={"shards": 2})
+        assert config.cache == CacheConfig(size=12, window=4)
+        assert config.shard.shards == 2
+
+    def test_configs_are_frozen_and_hashable(self):
+        config = EngineConfig()
+        with pytest.raises(AttributeError):
+            config.mode = "supergraph"
+        assert hash(config) == hash(EngineConfig())
+
+    def test_replace_returns_modified_copy(self):
+        config = EngineConfig()
+        mixed = config.replace(mode="mixed")
+        assert mixed.mode == "mixed"
+        assert config.mode == "subgraph"
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_negative_cache_size(self):
+        with pytest.raises(ConfigError, match=r"cache\.size=-5.*integer >= 1"):
+            CacheConfig(size=-5)
+
+    def test_zero_window(self):
+        with pytest.raises(ConfigError, match=r"cache\.window=0"):
+            CacheConfig(window=0)
+
+    def test_window_larger_than_size(self):
+        with pytest.raises(ConfigError, match=r"W <= C"):
+            CacheConfig(size=10, window=20)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError, match=r"cache\.policy='lru'.*one of"):
+            CacheConfig(policy="lru")
+
+    def test_unknown_batch_backend(self):
+        with pytest.raises(ConfigError, match=r"batch\.backend='gpu'.*one of"):
+            BatchConfig(backend="gpu")
+
+    def test_unknown_shard_backend(self):
+        with pytest.raises(ConfigError, match=r"shard\.backend='remote'.*one of"):
+            ShardConfig(backend="remote")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigError, match=r"verifier\.algorithm='vf3'"):
+            VerifierConfig(algorithm="vf3")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigError, match=r"engine\.mode='bidirectional'"):
+            EngineConfig(mode="bidirectional")
+
+    def test_both_components_disabled(self):
+        with pytest.raises(ConfigError, match=r"at least one iGQ component"):
+            EngineConfig(enable_isub=False, enable_isuper=False)
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ConfigError, match=r"unknown key\(s\) \['caches'\]"):
+            EngineConfig.from_dict({"caches": {"size": 3}})
+
+    def test_unknown_section_key(self):
+        with pytest.raises(ConfigError, match=r"unknown key\(s\) \['capacity'\]"):
+            EngineConfig.from_dict({"cache": {"capacity": 3}})
+
+    def test_wrong_section_type(self):
+        with pytest.raises(ConfigError, match=r"engine\.cache must be a CacheConfig"):
+            EngineConfig(cache=42)
+
+    def test_non_bool_flag(self):
+        with pytest.raises(ConfigError, match=r"batch\.pipeline=1.*expected a bool"):
+            BatchConfig(pipeline=1)
+
+    def test_plain_igq_rejects_sharded_config(self, database):
+        method = create_method("ggsx", max_path_length=3)
+        with pytest.raises(ConfigError, match=r"from_config"):
+            IGQ(method, EngineConfig(shard=ShardConfig(shards=4)))
+
+    def test_config_plus_legacy_kwargs_rejected(self):
+        method = create_method("ggsx", max_path_length=3)
+        with pytest.raises(ConfigError, match=r"not both"):
+            IGQ(method, EngineConfig(), cache_size=10)
+
+    def test_unknown_legacy_kwarg_rejected(self):
+        method = create_method("ggsx", max_path_length=3)
+        with pytest.raises(TypeError, match=r"cache_capacity"):
+            IGQ(method, cache_capacity=10)
+
+
+# ----------------------------------------------------------------------
+# Construction routing
+# ----------------------------------------------------------------------
+class TestFromConfig:
+    def test_default_engine(self, database):
+        method = create_method("ggsx", max_path_length=3)
+        engine = IGQ.from_config(method)
+        assert type(engine) is IGQ
+        assert engine.config == EngineConfig()
+        assert engine.maintenance.cache_size == 500
+
+    def test_sharded_dispatch(self, database):
+        method = create_method("ggsx", max_path_length=3)
+        config = EngineConfig(shard=ShardConfig(shards=4, backend="inline"))
+        with IGQ.from_config(method, config) as engine:
+            assert isinstance(engine, ShardedIGQ)
+            assert engine.num_shards == 4
+            assert engine.shard_backend == "inline"
+
+    def test_single_shard_stays_plain_path(self, database):
+        method = create_method("ggsx", max_path_length=3)
+        engine = ShardedIGQ.from_config(method, EngineConfig())
+        assert isinstance(engine, ShardedIGQ)
+        assert engine.num_shards == 1
+        assert engine.delta_log is None
+
+    def test_verifier_config_applied(self, database):
+        method = create_method("ggsx", max_path_length=3)
+        config = EngineConfig(
+            verifier=VerifierConfig(compiled=False, precheck=False, igq_compiled=False)
+        )
+        engine = IGQ.from_config(method, config)
+        assert engine.igq_compiled is False
+        assert engine.igq_verifier.compiled is False
+        assert engine.igq_verifier.precheck is False
+
+    def test_run_batch_defaults_come_from_config(self, database):
+        method = create_method("ggsx", max_path_length=3)
+        config = EngineConfig(
+            cache=CacheConfig(size=8, window=4),
+            batch=BatchConfig(num_workers=2, backend="thread"),
+        )
+        engine = IGQ.from_config(method, config)
+        engine.build_index(database)
+        spec = WorkloadSpec(name="uni", seed=3)
+        queries = QueryGenerator(database, spec).generate(6)
+        results = engine.run_batch(queries)
+        assert len(results) == 6
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims and config/kwarg equivalence
+# ----------------------------------------------------------------------
+class TestLegacyShims:
+    def test_flat_kwargs_warn_and_name_the_config_field(self):
+        method = create_method("ggsx", max_path_length=3)
+        with pytest.warns(DeprecationWarning, match=r"cache_size= -> EngineConfig\.cache\.size"):
+            engine = IGQ(method, cache_size=20, window_size=5)
+        assert engine.config.cache == CacheConfig(size=20, window=5)
+
+    def test_no_kwargs_means_no_warning(self):
+        method = create_method("ggsx", max_path_length=3)
+        engine = IGQ(method)  # must not warn (module errors on DeprecationWarning)
+        assert engine.config == EngineConfig()
+
+    def test_shard_kwargs_warn(self):
+        method = create_method("ggsx", max_path_length=3)
+        with pytest.warns(DeprecationWarning, match=r"shards= -> EngineConfig\.shard\.shards"):
+            engine = ShardedIGQ(method, shards=2, shard_backend="inline")
+        assert engine.config.shard == ShardConfig(shards=2, backend="inline")
+
+    def test_run_batch_kwargs_warn(self, database):
+        method = create_method("ggsx", max_path_length=3)
+        engine = IGQ.from_config(method, EngineConfig(cache=CacheConfig(size=8, window=4)))
+        engine.build_index(database)
+        queries = QueryGenerator(database, WorkloadSpec(name="uni", seed=4)).generate(3)
+        with pytest.warns(DeprecationWarning, match=r"EngineConfig\.batch\.num_workers"):
+            engine.run_batch(queries, num_workers=1)
+
+    def test_config_built_equals_kwarg_built(self, database, stream):
+        """Config-built and kwarg-built engines are byte-identical on a
+        workload with repeats, including supergraph mode."""
+        for mode in ("subgraph", "supergraph"):
+            fingerprints = []
+            for build in ("config", "kwargs"):
+                method = create_method("ggsx", max_path_length=3)
+                if build == "config":
+                    config = EngineConfig(
+                        mode=mode, cache=CacheConfig(size=8, window=3, policy="utility")
+                    )
+                    engine = IGQ.from_config(method, config)
+                else:
+                    with pytest.warns(DeprecationWarning):
+                        engine = IGQ(
+                            method, cache_size=8, window_size=3,
+                            policy="utility", mode=mode,
+                        )
+                engine.build_index(database)
+                results = [engine.query(query) for query in stream]
+                fingerprints.append(engine_fingerprint(engine, results))
+            assert fingerprints[0] == fingerprints[1]
+
+    def test_sharded_config_equals_kwarg_built(self, database, stream):
+        fingerprints = []
+        for build in ("config", "kwargs"):
+            method = create_method("ggsx", max_path_length=3)
+            if build == "config":
+                config = EngineConfig(
+                    cache=CacheConfig(size=8, window=3),
+                    shard=ShardConfig(shards=3, backend="inline"),
+                )
+                engine = ShardedIGQ.from_config(method, config)
+            else:
+                with pytest.warns(DeprecationWarning):
+                    engine = ShardedIGQ(
+                        method, shards=3, shard_backend="inline",
+                        cache_size=8, window_size=3,
+                    )
+            engine.build_index(database)
+            with engine:
+                results = [engine.query(query) for query in stream]
+                fingerprints.append(engine_fingerprint(engine, results))
+        assert fingerprints[0] == fingerprints[1]
