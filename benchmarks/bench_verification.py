@@ -3,13 +3,21 @@
 Two measurements over the same synthetic Zipf workload:
 
 1. **Verification stage** — each query is filtered once; its candidate set
-   is then verified twice against fresh verifiers: the PR-1 baseline
-   (``Verifier(compiled=False, precheck=False)`` — a dict-based
-   ``VF2Matcher`` per pair, no early-fail check) and the compiled fast path
-   (query plan compiled once, database-cached bitset targets, signature
-   pre-check).  Answers must be byte-identical; the run **fails** if they
-   diverge or if the speedup falls below the gate (default 1.5x).  This is
-   a pure-CPU comparison, so the gate holds on any machine.
+   is then verified against fresh verifiers on up to four paths: the PR-1
+   baseline (``Verifier(compiled=False, precheck=False)`` — a dict-based
+   ``VF2Matcher`` per pair, no early-fail check), the compiled bigint
+   kernel (``kernel="bigint"``: query plan compiled once, database-cached
+   bitset targets, signature pre-check) and — when numpy >= 2.0 is
+   importable — the numpy-enabled production path (``kernel="auto"``:
+   batched ``DatasetSignatures`` pre-reject + cost-model per-pair kernel)
+   plus the forced array kernel (``kernel="numpy"``, *informational
+   only*: per-pair numpy dispatch loses to CPython's C-loop bigint
+   bitops on real workload sizes — see ``docs/performance.md``).  All
+   answers must be byte-identical; the run **fails** on divergence, if
+   the bigint speedup falls below the gate (default 1.5x), or if the
+   numpy-enabled path's speedup over the uncompiled baseline falls below
+   its own gate (default 2.0x).  Pure-CPU comparisons, so the gates hold
+   on any machine.
 
 2. **Pipelined planner** — the full query stream is run through
    ``IGQ.run_batch`` with the worker pool, once with ``pipeline=False`` and
@@ -43,7 +51,7 @@ from repro.core import (  # noqa: E402
     effective_cpu_count,
 )
 from repro.datasets.registry import load_dataset  # noqa: E402
-from repro.isomorphism import Verifier  # noqa: E402
+from repro.isomorphism import Verifier, numpy_kernel_available  # noqa: E402
 from repro.methods import create_method  # noqa: E402
 from repro.workloads.generator import QueryGenerator, WorkloadSpec  # noqa: E402
 from repro.workloads.zipf import create_sampler  # noqa: E402
@@ -73,38 +81,55 @@ def build_method(database, method_name: str, verifier: Verifier):
 
 
 def bench_verification_stage(database, stream, method_name: str) -> dict:
-    """Verify every query's candidate set through both verifier paths."""
-    baseline_method = build_method(
-        database, method_name, Verifier(compiled=False, precheck=False)
-    )
-    compiled_method = build_method(database, method_name, Verifier())
+    """Verify every query's candidate set through every verifier path."""
+    methods = {
+        "baseline": build_method(
+            database, method_name, Verifier(compiled=False, precheck=False)
+        ),
+        "bigint": build_method(database, method_name, Verifier(kernel="bigint")),
+    }
+    if numpy_kernel_available():
+        # "auto" is the numpy-enabled production path (batched prereject +
+        # cost-model per-pair kernel); "numpy" forces the array kernel per
+        # pair and is reported for the record, not gated.
+        methods["auto"] = build_method(database, method_name, Verifier(kernel="auto"))
+        methods["numpy"] = build_method(database, method_name, Verifier(kernel="numpy"))
     database.precompile()
 
-    baseline_seconds = 0.0
-    compiled_seconds = 0.0
+    seconds = {name: 0.0 for name in methods}
     identical = True
     tests = 0
     for query in stream:
-        candidates = list(baseline_method.filter_candidates(query))
+        candidates = list(methods["baseline"].filter_candidates(query))
         tests += len(candidates)
 
-        start = time.perf_counter()
-        baseline_answers = baseline_method.verify(query, candidates)
-        baseline_seconds += time.perf_counter() - start
-
-        start = time.perf_counter()
-        compiled_answers = compiled_method.verify(query, candidates)
-        compiled_seconds += time.perf_counter() - start
-
-        if sorted(map(repr, baseline_answers)) != sorted(map(repr, compiled_answers)):
+        answers = {}
+        for name, method in methods.items():
+            start = time.perf_counter()
+            answers[name] = sorted(map(repr, method.verify(query, candidates)))
+            seconds[name] += time.perf_counter() - start
+        if any(answers[name] != answers["baseline"] for name in methods):
             identical = False
-    return {
+
+    baseline_seconds = seconds["baseline"]
+    result = {
         "verification_tests": tests,
+        "numpy_kernel_available": numpy_kernel_available(),
         "baseline_verify_seconds": round(baseline_seconds, 4),
-        "compiled_verify_seconds": round(compiled_seconds, 4),
-        "verification_speedup": round(baseline_seconds / max(compiled_seconds, 1e-9), 3),
+        "compiled_verify_seconds": round(seconds["bigint"], 4),
+        "verification_speedup": round(baseline_seconds / max(seconds["bigint"], 1e-9), 3),
         "verification_answers_identical": identical,
     }
+    if "auto" in seconds:
+        result["numpy_auto_verify_seconds"] = round(seconds["auto"], 4)
+        result["numpy_verification_speedup"] = round(
+            baseline_seconds / max(seconds["auto"], 1e-9), 3
+        )
+        result["numpy_forced_verify_seconds"] = round(seconds["numpy"], 4)
+        result["numpy_forced_speedup"] = round(
+            baseline_seconds / max(seconds["numpy"], 1e-9), 3
+        )
+    return result
 
 
 def cache_state(engine: IGQ):
@@ -187,6 +212,13 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=0, help="0 = auto-pick")
     parser.add_argument("--backend", default="auto", help="auto|sequential|thread|process")
     parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument(
+        "--min-numpy-speedup",
+        type=float,
+        default=2.0,
+        help="gate on the numpy-enabled kernel='auto' path vs the uncompiled "
+        "baseline (skipped when numpy >= 2.0 is unavailable)",
+    )
     parser.add_argument("--output", default=None, help="write the JSON result here too")
     args = parser.parse_args(argv)
 
@@ -208,6 +240,16 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         failed = True
+    if "numpy_verification_speedup" in result:
+        if result["numpy_verification_speedup"] < args.min_numpy_speedup:
+            print(
+                f"FAIL: numpy-enabled path speedup {result['numpy_verification_speedup']}x "
+                f"over the uncompiled baseline is below the {args.min_numpy_speedup}x gate",
+                file=sys.stderr,
+            )
+            failed = True
+    else:
+        print("note: numpy >= 2.0 unavailable; numpy-kernel leg skipped", file=sys.stderr)
     if not result["pipeline_answers_identical"] or not result["pipeline_cache_state_identical"]:
         print("FAIL: pipelined planner diverges from the non-pipelined run", file=sys.stderr)
         failed = True

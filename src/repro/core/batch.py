@@ -210,6 +210,17 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_METHOD = pickle.loads(payload)
 
 
+def _init_worker_shared(handle) -> None:
+    """Pool initializer attaching to a published shared-memory snapshot.
+
+    ``handle`` is a :class:`~repro.core.shm.SnapshotHandle`: only the
+    segment name and size cross the pipe; the snapshot itself is read from
+    the one segment the parent published.
+    """
+    global _WORKER_METHOD
+    _WORKER_METHOD = handle.load()
+
+
 def _run_verify_chunk(
     method: SubgraphQueryMethod,
     query: LabeledGraph,
@@ -410,6 +421,7 @@ class BatchExecutor:
         self._memo = FeatureMemo(self.method.extractor) if memoize_features else None
         self._pool: Executor | None = None
         self._owns_pool = True
+        self._shared_mode: str | None = None
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -435,12 +447,23 @@ class BatchExecutor:
                     # (a later plain stream mixing both directions falls
                     # back to lazy per-worker compilation of the other one).
                     mode = SUPERGRAPH_MODE if supergraph else SUBGRAPH_MODE
-                payload = self.method.verification_payload(mode=mode)
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.num_workers,
-                    initializer=_init_worker,
-                    initargs=(payload,),
-                )
+                handle = self.method.acquire_shared_payload(mode=mode)
+                if handle is not None:
+                    # Publish-once: workers attach to the one shared-memory
+                    # segment instead of each receiving the snapshot pickle.
+                    self._shared_mode = mode
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.num_workers,
+                        initializer=_init_worker_shared,
+                        initargs=(handle,),
+                    )
+                else:
+                    payload = self.method.verification_payload(mode=mode)
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.num_workers,
+                        initializer=_init_worker,
+                        initargs=(payload,),
+                    )
             else:
                 self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
         return self._pool
@@ -456,6 +479,9 @@ class BatchExecutor:
                 self._pool.shutdown(wait=True)
             self._pool = None
             self._owns_pool = True
+        if self._shared_mode is not None:
+            self.method.release_shared_payload(self._shared_mode)
+            self._shared_mode = None
 
     def __enter__(self) -> "BatchExecutor":
         return self

@@ -66,6 +66,7 @@ def validate_query_mode(mode: str) -> str:
     return mode
 
 _ALGORITHMS = ("vf2", "ullmann")
+_KERNELS = ("auto", "bigint", "numpy")
 _POLICIES = ("utility", "hit_rate", "fifo")
 _BATCH_BACKENDS = ("auto", "sequential", "thread", "process")
 _SHARD_BACKENDS = ("auto", "inline", "process")
@@ -155,9 +156,16 @@ class VerifierConfig:
     #: compiled containment layer of the two component indexes (query-vs-query
     #: containment on the bitset kernel; ``False`` restores the dict matcher)
     igq_compiled: bool = True
+    #: compiled-kernel backend (``"auto"`` | ``"bigint"`` | ``"numpy"``):
+    #: ``"bigint"`` is the pure-Python bitmask loop, ``"numpy"`` the
+    #: vectorised uint64 word-array kernel (bigint fallback when numpy is
+    #: absent), ``"auto"`` a per-target cost model; answers are identical
+    #: under every choice
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         _require_choice("verifier", "algorithm", self.algorithm, _ALGORITHMS)
+        _require_choice("verifier", "kernel", self.kernel, _KERNELS)
         for name in ("induced", "compiled", "precheck", "igq_compiled"):
             _require_bool("verifier", name, getattr(self, name))
 
@@ -170,6 +178,7 @@ class VerifierConfig:
             induced=self.induced,
             compiled=self.compiled,
             precheck=self.precheck,
+            kernel=self.kernel,
         )
 
 

@@ -741,8 +741,11 @@ class IGQ:
         with it — but the method is part of the engine contract so callers
         (and :class:`~repro.service.GraphQueryService`) can close any engine
         uniformly; :class:`~repro.core.shard.ShardedIGQ` terminates its
-        long-lived shard worker pools here.
+        long-lived shard worker pools here.  Any shared-memory snapshot
+        segments the method still holds (e.g. because an executor crashed
+        before its own ``close``) are force-unlinked as a safety net.
         """
+        self.method.release_shared_payloads()
 
     def __enter__(self) -> "IGQ":
         return self

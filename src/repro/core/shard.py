@@ -53,7 +53,7 @@ from ..features.extractor import GraphFeatures
 from ..graphs.graph import LabeledGraph
 from ..isomorphism.compiled import compile_query_plan, compile_target
 from ..isomorphism.verifier import Verifier
-from .batch import _init_worker, effective_cpu_count
+from .batch import _init_worker, _init_worker_shared, effective_cpu_count
 from .cache import CacheEntry
 from .config import ConfigError, EngineConfig, ShardConfig
 from .engine import _UNSET, IGQ, _legacy_engine_config
@@ -122,12 +122,15 @@ class ShardEntry:
     # (same protocol as CacheEntry), so replicas release exactly like the
     # parent-side entries do.
     def release_compiled_target(self) -> None:
+        """Drop the bitset target payload (mirrors ``CacheEntry``)."""
         self.compiled_target = None
 
     def release_compiled_plan(self) -> None:
+        """Drop the matching-plan payload (mirrors ``CacheEntry``)."""
         self.compiled_plan = None
 
     def release_compiled(self) -> None:
+        """Drop both compiled payloads."""
         self.release_compiled_target()
         self.release_compiled_plan()
 
@@ -473,8 +476,11 @@ def _init_shard_worker(payload: bytes) -> None:
     )
     # The same long-lived process also serves dataset verification chunks
     # for the batch executor, so install the method snapshot the way the
-    # executor's own pool initializer would.
-    if config["method_payload"] is not None:
+    # executor's own pool initializers would: by attaching to the published
+    # shared-memory segment when one exists, else from the pickle bytes.
+    if config.get("method_handle") is not None:
+        _init_worker_shared(config["method_handle"])
+    elif config["method_payload"] is not None:
         _init_worker(config["method_payload"])
 
 
@@ -537,6 +543,7 @@ class ShardVerifyPool:
         self._next = 0
 
     def submit(self, fn, /, *args, **kwargs):
+        """Schedule ``fn`` on the next shard pool (round-robin)."""
         pool = self._pools[self._next]
         self._next = (self._next + 1) % len(self._pools)
         return pool.submit(fn, *args, **kwargs)
@@ -625,16 +632,25 @@ class _ProcessShardRuntime:
         self._pools: list[ProcessPoolExecutor] | None = None
         self._shipped = [0] * engine.num_shards
         self._needs_reset = [False] * engine.num_shards
+        self._acquired_mode: str | None = None
 
     # ------------------------------------------------------------------
     def _ensure_pools(self) -> list[ProcessPoolExecutor]:
         if self._pools is None:
             engine = self._engine
             method_payload = None
+            method_handle = None
             if engine.method.database is not None:
                 # Mixed-mode engines precompile both verification directions
-                # into the snapshot; fixed-mode ones only their own.
-                method_payload = engine.method.verification_payload(mode=engine.mode)
+                # into the snapshot; fixed-mode ones only their own.  Publish
+                # the snapshot once through shared memory so every shard
+                # worker attaches to the same segment; without shared memory
+                # each per-shard config carries its own pickle copy.
+                method_handle = engine.method.acquire_shared_payload(mode=engine.mode)
+                if method_handle is not None:
+                    self._acquired_mode = engine.mode
+                else:
+                    method_payload = engine.method.verification_payload(mode=engine.mode)
             verifier = engine.igq_verifier.fresh_clone()
             self._pools = []
             for shard_id in range(engine.num_shards):
@@ -646,6 +662,7 @@ class _ProcessShardRuntime:
                         "enable_isub": engine.probe_isub,
                         "enable_isuper": engine.probe_isuper,
                         "method_payload": method_payload,
+                        "method_handle": method_handle,
                     },
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
@@ -725,6 +742,9 @@ class _ProcessShardRuntime:
             self._pools = None
             self._shipped = [0] * self._engine.num_shards
             self._needs_reset = [True] * self._engine.num_shards
+        if self._acquired_mode is not None:
+            self._engine.method.release_shared_payload(self._acquired_mode)
+            self._acquired_mode = None
 
 
 class ShardedIGQ(IGQ):
@@ -934,6 +954,7 @@ class ShardedIGQ(IGQ):
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     def index_size_bytes(self) -> int:
+        """Estimated bytes of the query index including shard structures."""
         # With shards>1 the inherited isub/isuper are None, so the parent
         # implementation contributes exactly the cached-graph/answer bytes;
         # the shard structures are added on top.
@@ -957,9 +978,15 @@ class ShardedIGQ(IGQ):
         return counts
 
     def close(self) -> None:
-        """Shut down the shard runtime (worker pools); idempotent."""
+        """Shut down the shard runtime (worker pools); idempotent.
+
+        Order matters: the runtime releases its reference on the published
+        snapshot segment first, then the base class force-unlinks whatever
+        is left (see :meth:`repro.core.engine.IGQ.close`).
+        """
         if self.shard_runtime is not None:
             self.shard_runtime.close()
+        super().close()
 
     def __repr__(self) -> str:
         return (

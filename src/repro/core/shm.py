@@ -1,0 +1,171 @@
+"""Shared-memory dataset snapshots for process workers.
+
+Process workers need the dataset-side verification state — the graphs and
+their precompiled targets/plans (:meth:`~repro.methods.base.
+SubgraphQueryMethod.verification_snapshot`).  Before this module, every
+worker received its own copy of the pickled snapshot through the pool's
+``initargs`` pipe: with ``k`` workers the parent serialised once but paid
+``k`` pipe transfers, and each transfer rides the fork/spawn handshake.
+
+This module publishes the pickled snapshot **once** into a
+:mod:`multiprocessing.shared_memory` segment at pool-creation time.  Workers
+receive only a tiny :class:`SnapshotHandle` (name + size) and attach to the
+one published segment, so the snapshot bytes cross no pipe regardless of
+worker count, and a re-created pool re-uses the already-published segment.
+
+Lifecycle: the owning side (the query method) keeps a refcount per published
+segment — the batch executor and the sharded runtime acquire on pool
+creation and release on close, and :meth:`repro.core.engine.IGQ.close`
+force-releases as a safety net — with the segment unlinked when the last
+reference drops.  Publishing degrades gracefully: when shared memory is
+unavailable (platform without ``/dev/shm``, permission errors, or tests
+forcing the fallback) :func:`publish` returns ``None`` and callers fall back
+to the classic ``initargs`` pickle bytes.
+
+After a crash that skipped ``close()``, a stale ``psm_*`` segment can
+survive under ``/dev/shm``; ``docs/operations.md`` describes recovery (the
+resource tracker removes it at interpreter exit in the common case).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+__all__ = [
+    "SnapshotHandle",
+    "SharedSnapshot",
+    "publish",
+    "shared_memory_available",
+]
+
+try:  # pragma: no cover - import guard, exercised via monkeypatch in tests
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - stdlib module, present on CPython
+    _shared_memory = None
+
+#: test hook: force the pickle fallback even where shared memory works
+_force_disabled = False
+
+
+def shared_memory_available() -> bool:
+    """True if snapshots can be published through shared memory here."""
+    return _shared_memory is not None and not _force_disabled
+
+
+def _attach(name: str):
+    """Attach to an existing segment without registering it for tracking.
+
+    Only the publishing side owns the segment; an attaching worker that
+    also registers it with the resource tracker would fight the owner over
+    cleanup (forked workers share the parent's tracker process, so the
+    worker's registration/unregistration mutates the owner's bookkeeping).
+    Python 3.13+ exposes ``track=False`` for exactly this; on <= 3.12 the
+    registration call is suppressed for the duration of the attach —
+    workers attach once, single-threaded, inside the pool initializer, so
+    the swap cannot race another register.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python <= 3.12: no track param
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(resource_name, rtype):
+            if rtype != "shared_memory":
+                original(resource_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class SnapshotHandle:
+    """Address of a published snapshot: segment name plus payload size.
+
+    This is what actually crosses the process boundary — a few dozen bytes
+    instead of the multi-megabyte snapshot pickle.  Workers call
+    :meth:`load` once at initialisation.
+    """
+
+    name: str
+    size: int
+
+    def load(self):
+        """Attach to the segment, unpickle the snapshot, detach."""
+        segment = _attach(self.name)
+        try:
+            payload = bytes(segment.buf[: self.size])
+        finally:
+            segment.close()
+        return pickle.loads(payload)
+
+
+class SharedSnapshot:
+    """Owning side of one published snapshot segment.
+
+    Created by :func:`publish`; hand :attr:`handle` to workers.  The segment
+    stays readable until :meth:`close`, which closes the mapping and unlinks
+    the name (idempotent — double close is a no-op, and an already-removed
+    segment is tolerated).
+    """
+
+    __slots__ = ("_segment", "_handle")
+
+    def __init__(self, segment, size: int) -> None:
+        self._segment = segment
+        self._handle = SnapshotHandle(name=segment.name, size=size)
+
+    @property
+    def handle(self) -> SnapshotHandle:
+        """The picklable worker-side address of this segment."""
+        return self._handle
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has unlinked the segment."""
+        return self._segment is None
+
+    def close(self) -> None:
+        """Close the mapping and unlink the segment name (idempotent)."""
+        segment = self._segment
+        if segment is None:
+            return
+        self._segment = None
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup won
+            pass
+
+    def __enter__(self) -> "SharedSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"size={self._handle.size}"
+        return f"<SharedSnapshot {self._handle.name} {state}>"
+
+
+def publish(obj) -> SharedSnapshot | None:
+    """Pickle ``obj`` into a fresh shared-memory segment.
+
+    Returns the owning :class:`SharedSnapshot`, or ``None`` when shared
+    memory is unavailable or the segment cannot be created — callers then
+    fall back to shipping the pickle bytes through pool ``initargs``.
+    """
+    if not shared_memory_available():
+        return None
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        segment = _shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    except OSError:
+        return None
+    segment.buf[: len(payload)] = payload
+    return SharedSnapshot(segment, len(payload))

@@ -34,6 +34,7 @@ class GraphDatabase:
         self._labels: set = set()
         self._compiled_targets: dict[Hashable, object] = {}
         self._compiled_plans: dict[Hashable, object] = {}
+        self._signatures: object | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -57,6 +58,9 @@ class GraphDatabase:
             raise GraphError(f"duplicate graph id {graph_id!r}")
         self._graphs[graph_id] = graph
         self._labels.update(graph.labels())
+        # The stacked signature arrays are aligned over the full id set, so
+        # any insert invalidates them (per-graph compiled caches stay valid).
+        self._signatures = None
 
     # ------------------------------------------------------------------
     # Compiled verification representations
@@ -101,6 +105,22 @@ class GraphDatabase:
                 self.compiled_target(graph_id)
             if plans:
                 self.compiled_plan(graph_id)
+
+    def dataset_signatures(self):
+        """Stacked per-graph signature arrays for the batched pre-reject.
+
+        Returns the database-wide
+        :class:`~repro.isomorphism.compiled.DatasetSignatures` (built lazily
+        on first request, invalidated when a graph is added) or ``None``
+        when the numpy kernel backend is unavailable on this host.
+        """
+        from ..isomorphism.compiled import DatasetSignatures, numpy_kernel_available
+
+        if not numpy_kernel_available():
+            return None
+        if self._signatures is None:
+            self._signatures = DatasetSignatures(self._graphs)
+        return self._signatures
 
     # ------------------------------------------------------------------
     def get(self, graph_id: Hashable) -> LabeledGraph:

@@ -1,13 +1,17 @@
 """Subgraph isomorphism algorithms, cost model and instrumented verifier."""
 
 from .compiled import (
+    KERNELS,
     CompiledQueryPlan,
     CompiledTarget,
+    DatasetSignatures,
     compile_query_plan,
     compile_target,
     compiled_has_embedding,
     masked_components,
     masked_edge_count,
+    numpy_kernel_available,
+    resolve_kernel,
     signature_prereject,
 )
 from .cost import (
@@ -27,13 +31,17 @@ from .vf2 import (
 )
 
 __all__ = [
+    "KERNELS",
     "CompiledQueryPlan",
     "CompiledTarget",
+    "DatasetSignatures",
     "compile_query_plan",
     "compile_target",
     "compiled_has_embedding",
     "masked_components",
     "masked_edge_count",
+    "numpy_kernel_available",
+    "resolve_kernel",
     "signature_prereject",
     "VF2Matcher",
     "UllmannMatcher",

@@ -46,26 +46,118 @@ component-restricted verification uses it to test query regions against the
 pair.  :func:`masked_components` and :func:`masked_edge_count` supply the
 component decomposition and edge counts of a masked region without ever
 materialising it.
+
+**Kernel backends** — the kernel exists in two interchangeable
+implementations selected by the ``kernel`` argument (threaded through
+:class:`~repro.core.config.VerifierConfig.kernel`):
+
+* ``"bigint"`` — the original pure-Python arbitrary-precision ``int``
+  bitmask loop above; always available.
+* ``"numpy"`` — the same search over ``uint64`` word arrays
+  (:class:`TargetArrays`, built lazily per target and cached), with
+  candidate generation, degree filtering and look-ahead popcounts done as
+  vectorised array operations per depth instead of per candidate.  Requires
+  numpy (import-guarded) on a little-endian platform; forcing it when
+  unavailable silently falls back to ``"bigint"``.
+* ``"auto"`` (default) — a small cost model: per-pair search runs
+  ``"numpy"`` only for targets with at least
+  :data:`NUMPY_KERNEL_MIN_VERTICES` vertices and ``"bigint"`` below it,
+  while the *batch-level* vectorisation (the
+  :class:`DatasetSignatures` pre-reject) is always enabled.  Measured on
+  CPython, the per-pair crossover lies beyond every graph size we can
+  construct — CPython's bigint bitops already run at C speed over words,
+  and the VF2 step granularity is too fine to amortise array-op dispatch —
+  so the default threshold effectively keeps per-pair matching on
+  ``"bigint"`` and the batched pre-reject is where the arrays pay
+  (see docs/performance.md).
+
+Both backends explore the *identical* DFS tree (same matching order, same
+ascending candidate order, same feasibility predicates evaluated against
+the same ``used`` state), so answers — and therefore every downstream
+accounting and cache decision — are byte-identical by construction.  The
+test suite cross-validates them against each other and against networkx.
+
+:class:`DatasetSignatures` is the batched form of the signature pre-check:
+the per-graph invariants of a whole dataset stacked into aligned arrays so
+one vectorised pass rejects every non-matching candidate of a query before
+any per-pair matching starts (both query directions).
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable
+import sys
+from collections.abc import Hashable, Sequence
 
 from ..graphs.bitset import VertexIdSpace, iter_bits
 from ..graphs.graph import LabeledGraph
 
+try:  # pragma: no cover - exercised indirectly via numpy_kernel_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI images
+    _np = None
+
 __all__ = [
     "CompiledTarget",
     "CompiledQueryPlan",
+    "DatasetSignatures",
+    "TargetArrays",
+    "KERNELS",
+    "NUMPY_KERNEL_MIN_VERTICES",
     "compile_target",
     "compile_query_plan",
     "compiled_has_embedding",
     "masked_components",
     "masked_edge_count",
+    "numpy_kernel_available",
+    "resolve_kernel",
     "signature_prereject",
     "degree_signature_dominates",
 ]
+
+#: accepted values of the ``kernel`` flag, in documentation order
+KERNELS = ("auto", "bigint", "numpy")
+
+#: ``"auto"`` cost-model crossover: targets with at least this many vertices
+#: run the per-pair numpy kernel.  Benchmarked on CPython (sparse and dense
+#: random graphs, 40 to 20 000 vertices, positive and exhaustive-negative
+#: searches) the bigint kernel won at every size — its big-int bitops are
+#: C loops over words with none of numpy's per-call dispatch overhead — so
+#: the default threshold is set beyond realistic dataset graphs and
+#: ``"auto"`` keeps per-pair matching on ``"bigint"``.  The vectorised win
+#: "auto" *does* enable is the batched :class:`DatasetSignatures`
+#: pre-reject; ``kernel="numpy"`` still forces the array kernel per pair
+#: (A/B validation, alternative interpreters).
+NUMPY_KERNEL_MIN_VERTICES = 1 << 20
+
+
+def numpy_kernel_available() -> bool:
+    """True if the numpy ``uint64`` kernel backend can run on this host.
+
+    Requires numpy with ``bitwise_count`` (numpy >= 2.0) on a little-endian
+    platform — the word arrays are built by viewing the little-endian byte
+    serialisation of the Python bigint masks, so bit ``i`` of the bitmask is
+    bit ``i % 64`` of word ``i // 64`` only when the native byte order is
+    little-endian.  When this returns ``False`` every ``kernel=`` request
+    resolves to ``"bigint"``.
+    """
+    return _np is not None and sys.byteorder == "little" and hasattr(_np, "bitwise_count")
+
+
+def resolve_kernel(kernel: str, target: "CompiledTarget") -> str:
+    """Resolve a ``kernel`` request to the backend actually run for ``target``.
+
+    ``"bigint"`` always resolves to itself; ``"numpy"`` resolves to the numpy
+    backend when :func:`numpy_kernel_available` (bigint fallback otherwise);
+    ``"auto"`` additionally applies the :data:`NUMPY_KERNEL_MIN_VERTICES`
+    cost model per target graph.
+    """
+    if kernel == "bigint" or not numpy_kernel_available():
+        return "bigint"
+    if kernel == "numpy":
+        return "numpy"
+    if kernel != "auto":
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    return "numpy" if target.num_vertices >= NUMPY_KERNEL_MIN_VERTICES else "bigint"
 
 
 def degree_signature_dominates(
@@ -144,10 +236,12 @@ class CompiledTarget:
         "label_masks",
         "label_histogram",
         "label_degrees",
+        "_arrays",
     )
 
     def __init__(self, graph: LabeledGraph) -> None:
         self.graph = graph
+        self._arrays = None
         space = VertexIdSpace(graph.vertices())
         self.space = space
         n = len(space)
@@ -185,6 +279,33 @@ class CompiledTarget:
         self.label_masks = label_masks
         self.label_histogram = label_histogram
         self.label_degrees = label_degrees
+
+    def arrays(self) -> "TargetArrays":
+        """The numpy ``uint64`` word-array form of this target.
+
+        Built lazily on first request by the numpy kernel backend and cached
+        for every later verification against this target; callers must first
+        check :func:`numpy_kernel_available`.  The cache is dropped when the
+        target is pickled (snapshots ship the compact bigint form; workers
+        rebuild arrays on demand).
+        """
+        arrays = self._arrays
+        if arrays is None:
+            arrays = TargetArrays(self)
+            self._arrays = arrays
+        return arrays
+
+    def __getstate__(self):
+        """Pickle every slot except the rebuildable numpy array cache."""
+        return {
+            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_arrays"
+        }
+
+    def __setstate__(self, state) -> None:
+        """Restore pickled slots; the array form is rebuilt lazily."""
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._arrays = None
 
     def __repr__(self) -> str:
         return (
@@ -361,14 +482,23 @@ def masked_edge_count(target: CompiledTarget, vertex_mask: int) -> int:
 
 
 def compiled_has_embedding(
-    plan: CompiledQueryPlan, target: CompiledTarget, vertex_mask: int | None = None
+    plan: CompiledQueryPlan,
+    target: CompiledTarget,
+    vertex_mask: int | None = None,
+    *,
+    kernel: str = "auto",
+    prechecked: bool = False,
 ) -> bool:
     """True if the plan's pattern has a (non-induced) embedding in ``target``.
 
     Semantics are identical to ``VF2Matcher(pattern, target).has_match()``;
-    the search differs only in representation.  The kernel is recursion-free:
-    one explicit stack frame per matching-order position, each holding the
-    not-yet-tried candidate mask at that depth.
+    the search differs only in representation.  ``kernel`` selects the
+    backend (see :data:`KERNELS` / :func:`resolve_kernel`); both backends
+    explore the identical DFS tree, so the answer never depends on the
+    choice.  ``prechecked=True`` skips the scalar signature pre-reject —
+    callers pass it when a batched :class:`DatasetSignatures` pass has
+    already cleared this pair (re-running the scalar check would only
+    duplicate work; it can never flip the answer).
 
     With a ``vertex_mask``, candidate generation is additionally restricted
     to the masked target vertices, so the kernel answers whether an embedding
@@ -382,8 +512,23 @@ def compiled_has_embedding(
         return True
     if vertex_mask is not None and vertex_mask.bit_count() < plan.num_vertices:
         return False
-    if plan.prereject(target):
+    if not prechecked and plan.prereject(target):
         return False
+    if resolve_kernel(kernel, target) == "numpy":
+        return _numpy_has_embedding(plan, target, vertex_mask)
+    return _bigint_has_embedding(plan, target, vertex_mask)
+
+
+def _bigint_has_embedding(
+    plan: CompiledQueryPlan, target: CompiledTarget, vertex_mask: int | None
+) -> bool:
+    """The pure-Python bigint-bitmask kernel backend.
+
+    Recursion-free: one explicit stack frame per matching-order position,
+    each holding the not-yet-tried candidate mask at that depth.  Candidates
+    are tried in ascending dense-index order; degree and look-ahead
+    feasibility are evaluated lazily per candidate.
+    """
     region = -1 if vertex_mask is None else vertex_mask
 
     steps = plan.steps
@@ -445,3 +590,288 @@ def compiled_has_embedding(
             return False
         used ^= image_bits[depth]
         advancing = False
+
+
+# ----------------------------------------------------------------------
+# numpy uint64 kernel backend
+# ----------------------------------------------------------------------
+
+if _np is not None:  # pragma: no branch
+    #: single-bit uint64 constants, indexed by bit position within a word
+    _BIT_WORDS = _np.uint64(1) << _np.arange(64, dtype=_np.uint64)
+    _EMPTY_INDICES = _np.empty(0, dtype=_np.uint64)
+
+
+def _mask_words(mask: int, num_words: int):
+    """A Python bigint bitmask as a read-only ``(num_words,)`` uint64 array.
+
+    Bit ``i`` of the mask becomes bit ``i % 64`` of word ``i // 64`` — exact
+    on little-endian hosts, which :func:`numpy_kernel_available` guarantees.
+    """
+    return _np.frombuffer(mask.to_bytes(num_words * 8, "little"), dtype=_np.uint64)
+
+
+class TargetArrays:
+    """numpy array form of a :class:`CompiledTarget`.
+
+    Carries what the vectorised kernel gathers per depth: ``adjacency`` is
+    the ``(n, W)`` uint64 word matrix (row ``i`` = neighbour bitset of dense
+    vertex ``i``, used for bit-test gathers and look-ahead popcounts),
+    ``degrees`` the ``(n,)`` int64 degree array, ``label_members`` each
+    label's ascending member-index array (unanchored candidate base), and
+    ``label_csr`` each label's CSR-sliced adjacency — ``(indptr, flat)``
+    where ``flat[indptr[v]:indptr[v + 1]]`` lists ``v``'s neighbours of that
+    label in ascending order (anchored candidate base).  Built once per
+    target via :meth:`CompiledTarget.arrays` and reused by every
+    verification against it.
+    """
+
+    __slots__ = (
+        "num_words",
+        "degrees",
+        "adjacency",
+        "label_members",
+        "label_csr",
+    )
+
+    def __init__(self, target: CompiledTarget) -> None:
+        n = target.num_vertices
+        num_words = max(1, (n + 63) // 64)
+        self.num_words = num_words
+        self.degrees = _np.asarray(target.degrees, dtype=_np.int64)
+        adjacency = _np.empty((n, num_words), dtype=_np.uint64)
+        for index, mask in enumerate(target.adjacency_masks):
+            adjacency[index] = _mask_words(mask, num_words)
+        self.adjacency = adjacency
+        self.label_members = {
+            label: _np.fromiter(iter_bits(mask), _np.int64).astype(_np.uint64)
+            for label, mask in target.label_masks.items()
+        }
+        label_csr: dict[Hashable, tuple] = {}
+        for label in target.label_masks:
+            indptr = _np.zeros(n + 1, dtype=_np.int64)
+            rows = []
+            for index, by_label in enumerate(target.label_adjacency_masks):
+                mask = by_label.get(label, 0)
+                row = list(iter_bits(mask)) if mask else ()
+                rows.append(row)
+                indptr[index + 1] = indptr[index] + len(row)
+            flat = _np.fromiter(
+                (bit for row in rows for bit in row), _np.int64, count=int(indptr[-1])
+            ).astype(_np.uint64)
+            label_csr[label] = (indptr, flat)
+        self.label_csr = label_csr
+
+
+if _np is not None:  # pragma: no branch
+    _U1 = _np.uint64(1)
+    _U6 = _np.uint64(6)
+    _U63 = _np.uint64(63)
+
+
+def _numpy_has_embedding(
+    plan: CompiledQueryPlan, target: CompiledTarget, vertex_mask: int | None
+) -> bool:
+    """The vectorised index-gather kernel backend.
+
+    Explores the same DFS tree as :func:`_bigint_has_embedding` — identical
+    matching order, identical ascending candidate order, identical degree
+    and look-ahead predicates — but computes each depth's *entire* feasible
+    candidate list in one vectorised pass on entry: the anchored (CSR slice)
+    or label-member base list is narrowed by bit-test gathers into the
+    adjacency/region/used word arrays, then by the degree array and the
+    look-ahead popcount, all as whole-array operations over the candidate
+    list (never over all ``n`` vertices).  Eager filtering is sound because
+    the ``used`` set at depth ``d`` is invariant across every re-entry of
+    that depth (deeper assignments are unwound first), so it sees exactly
+    the state the bigint kernel's lazy per-candidate checks would see.
+    """
+    arrays = target.arrays()
+    region = None if vertex_mask is None else _mask_words(vertex_mask, arrays.num_words)
+    degrees = arrays.degrees
+    adjacency = arrays.adjacency
+    label_members = arrays.label_members
+    label_csr = arrays.label_csr
+
+    steps = plan.steps
+    depth_count = len(steps)
+    images = [0] * depth_count
+    #: feasible candidate index array at each depth, and the try cursor
+    pending: list = [None] * depth_count
+    cursors = [0] * depth_count
+    used = _np.zeros(arrays.num_words, dtype=_np.uint64)
+    depth = 0
+    advancing = True
+
+    while True:
+        label, min_degree, anchors, lookahead = steps[depth]
+        if advancing:
+            if anchors:
+                csr = label_csr.get(label)
+                if csr is None:
+                    candidates = _EMPTY_INDICES
+                else:
+                    indptr, flat = csr
+                    first = images[anchors[0]]
+                    candidates = flat[indptr[first] : indptr[first + 1]]
+                    for anchor in anchors[1:]:
+                        if not candidates.size:
+                            break
+                        row = adjacency[images[anchor]]
+                        hits = (row[candidates >> _U6] >> (candidates & _U63)) & _U1
+                        candidates = candidates[hits != 0]
+            else:
+                candidates = label_members.get(label, _EMPTY_INDICES)
+            if candidates.size and region is not None:
+                hits = (region[candidates >> _U6] >> (candidates & _U63)) & _U1
+                candidates = candidates[hits != 0]
+            if candidates.size:
+                hits = (used[candidates >> _U6] >> (candidates & _U63)) & _U1
+                candidates = candidates[hits == 0]
+            if min_degree and candidates.size:
+                candidates = candidates[degrees[candidates] >= min_degree]
+            if lookahead and candidates.size:
+                # High bits of ~used beyond vertex n are harmless: adjacency
+                # rows never set them, so the AND masks them out.
+                free = ~used if region is None else region & ~used
+                free_neighbors = _np.bitwise_count(adjacency[candidates] & free)
+                candidates = candidates[free_neighbors.sum(axis=1) >= lookahead]
+            pending[depth] = candidates
+            cursors[depth] = 0
+        else:
+            candidates = pending[depth]
+        cursor = cursors[depth]
+        if cursor < candidates.size:
+            vertex = int(candidates[cursor])
+            cursors[depth] = cursor + 1
+            images[depth] = vertex
+            used[vertex >> 6] |= _BIT_WORDS[vertex & 63]
+            depth += 1
+            if depth == depth_count:
+                return True
+            advancing = True
+        else:
+            depth -= 1
+            if depth < 0:
+                return False
+            vertex = images[depth]
+            used[vertex >> 6] ^= _BIT_WORDS[vertex & 63]
+            advancing = False
+
+
+# ----------------------------------------------------------------------
+# Batched signature pre-reject
+# ----------------------------------------------------------------------
+
+
+class DatasetSignatures:
+    """Stacked per-graph invariants for the vectorised batched pre-reject.
+
+    Holds, aligned by a dense row per dataset graph: vertex/edge counts
+    (int64 vectors), the label histogram as a ``(G, L)`` matrix over the
+    dataset's label universe, and one descending per-label degree matrix per
+    label, right-padded with ``-1`` for graphs with fewer vertices of that
+    label.  :meth:`prereject_targets` / :meth:`prereject_patterns` evaluate
+    :func:`signature_prereject` for *every* candidate of a query in a few
+    whole-array comparisons — element-for-element the same boolean the
+    scalar check returns, so answers and test accounting are unchanged.
+
+    Built lazily (and invalidated on insert) by
+    :meth:`repro.graphs.database.GraphDatabase.dataset_signatures`; requires
+    :func:`numpy_kernel_available`.
+    """
+
+    __slots__ = ("_row", "_num_vertices", "_num_edges", "_labels", "_hist", "_degrees")
+
+    def __init__(self, graphs: dict[Hashable, LabeledGraph]) -> None:
+        ids = list(graphs)
+        count = len(ids)
+        self._row = {graph_id: row for row, graph_id in enumerate(ids)}
+        self._num_vertices = _np.fromiter(
+            (graphs[graph_id].num_vertices for graph_id in ids), _np.int64, count=count
+        )
+        self._num_edges = _np.fromiter(
+            (graphs[graph_id].num_edges for graph_id in ids), _np.int64, count=count
+        )
+        degree_lists = [_label_degree_lists(graphs[graph_id]) for graph_id in ids]
+        labels = sorted({label for lists in degree_lists for label in lists}, key=repr)
+        self._labels = {label: column for column, label in enumerate(labels)}
+        hist = _np.zeros((count, len(labels)), dtype=_np.int64)
+        widths = {label: 0 for label in labels}
+        for row, lists in enumerate(degree_lists):
+            for label, degrees in lists.items():
+                hist[row, self._labels[label]] = len(degrees)
+                if len(degrees) > widths[label]:
+                    widths[label] = len(degrees)
+        self._hist = hist
+        degree_matrices: dict[Hashable, object] = {}
+        for label, width in widths.items():
+            matrix = _np.full((count, width), -1, dtype=_np.int64)
+            for row, lists in enumerate(degree_lists):
+                degrees = lists.get(label)
+                if degrees:
+                    matrix[row, : len(degrees)] = degrees
+            degree_matrices[label] = matrix
+        self._degrees = degree_matrices
+
+    def _rows(self, graph_ids: Sequence[Hashable]):
+        row = self._row
+        return _np.fromiter(
+            (row[graph_id] for graph_id in graph_ids), _np.intp, count=len(graph_ids)
+        )
+
+    def prereject_targets(self, plan: CompiledQueryPlan, graph_ids: Sequence[Hashable]):
+        """Batched pre-reject for a subgraph query (dataset graphs as targets).
+
+        Returns a boolean array aligned with ``graph_ids``; entry ``i`` is
+        exactly ``plan.prereject(compiled_target(graph_ids[i]))``.
+        """
+        rows = self._rows(graph_ids)
+        reject = (self._num_vertices[rows] < plan.num_vertices) | (
+            self._num_edges[rows] < plan.num_edges
+        )
+        for label, required in plan.label_histogram.items():
+            column = self._labels.get(label)
+            if column is None:
+                reject[:] = True
+                return reject
+            reject |= self._hist[rows, column] < required
+        for label, pattern_degrees in plan.label_degrees.items():
+            matrix = self._degrees[label]
+            needed = len(pattern_degrees)
+            if needed > matrix.shape[1]:
+                reject[:] = True
+                return reject
+            wanted = _np.asarray(pattern_degrees, dtype=_np.int64)
+            # A -1 pad entry always compares below the (non-negative)
+            # pattern degree, encoding "fewer target vertices than needed".
+            reject |= (matrix[rows][:, :needed] < wanted).any(axis=1)
+        return reject
+
+    def prereject_patterns(self, target: CompiledTarget, graph_ids: Sequence[Hashable]):
+        """Batched pre-reject for a supergraph query (dataset graphs as patterns).
+
+        Returns a boolean array aligned with ``graph_ids``; entry ``i`` is
+        exactly ``compiled_plan(graph_ids[i]).prereject(target)`` for the
+        query compiled as the one shared target.
+        """
+        rows = self._rows(graph_ids)
+        reject = (self._num_vertices[rows] > target.num_vertices) | (
+            self._num_edges[rows] > target.num_edges
+        )
+        target_hist = _np.fromiter(
+            (target.label_histogram.get(label, 0) for label in self._labels),
+            _np.int64,
+            count=len(self._labels),
+        )
+        reject |= (self._hist[rows] > target_hist).any(axis=1)
+        for label, matrix in self._degrees.items():
+            width = matrix.shape[1]
+            target_degrees = target.label_degrees.get(label, ())
+            padded = _np.full(width, -1, dtype=_np.int64)
+            fill = min(width, len(target_degrees))
+            padded[:fill] = target_degrees[:fill]
+            # Pattern pad entries (-1) never exceed anything; pattern degrees
+            # beyond the target's list compare against -1 and reject.
+            reject |= (matrix[rows] > padded).any(axis=1)
+        return reject

@@ -25,11 +25,13 @@ from dataclasses import dataclass, field
 
 from ..graphs.graph import LabeledGraph
 from .compiled import (
+    KERNELS,
     CompiledQueryPlan,
     CompiledTarget,
     compile_query_plan,
     compile_target,
     compiled_has_embedding,
+    numpy_kernel_available,
     signature_prereject,
 )
 from .ullmann import UllmannMatcher
@@ -77,6 +79,12 @@ class Verifier:
         running a matcher on the graph-based path (default).  The check is a
         necessary condition for a match, so answers never change; ``False``
         reproduces the pre-optimisation behaviour exactly.
+    kernel:
+        Compiled-kernel backend: ``"bigint"`` (pure-Python bitmask loop),
+        ``"numpy"`` (vectorised uint64 word arrays, bigint fallback when
+        numpy is unavailable) or ``"auto"`` (default; per-target cost
+        model).  Both backends explore the identical search tree, so
+        answers and accounting never depend on the choice.
     """
 
     def __init__(
@@ -85,15 +93,19 @@ class Verifier:
         induced: bool = False,
         compiled: bool = True,
         precheck: bool = True,
+        kernel: str = "auto",
     ) -> None:
         if algorithm not in _ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of {_ALGORITHMS}"
             )
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
         self.algorithm = algorithm
         self.induced = induced
         self.compiled = compiled
         self.precheck = precheck
+        self.kernel = kernel
         self.stats = VerifierStats()
 
     # ------------------------------------------------------------------
@@ -117,11 +129,22 @@ class Verifier:
             return None
         return compile_target(target)
 
+    def batched_prereject_enabled(self) -> bool:
+        """True if callers should run the vectorised batched pre-reject.
+
+        The batched pass computes exactly the scalar per-pair signature
+        check, so it is sound under any configuration; it is skipped for
+        ``kernel="bigint"`` (the pure-Python A/B baseline must not touch
+        numpy) and when numpy is unavailable.
+        """
+        return self.kernel != "bigint" and numpy_kernel_available()
+
     def is_subgraph_compiled(
         self,
         plan: CompiledQueryPlan,
         target: CompiledTarget,
         vertex_mask: int | None = None,
+        prerejected: bool | None = None,
     ) -> bool:
         """Test ``plan.pattern ⊆ target.graph`` through the bitset kernel.
 
@@ -131,9 +154,26 @@ class Verifier:
         restricts the embedding's image to the masked target vertices
         (region-restricted verification); a masked run is still one counted
         test, exactly like the region-subgraph test it replaces.
+
+        ``prerejected`` carries the pair's verdict from a batched
+        :class:`~repro.isomorphism.compiled.DatasetSignatures` pass:
+        ``True`` records the (certain) negative without entering the
+        kernel, ``False`` enters the kernel with the scalar pre-check
+        skipped, ``None`` (default) runs the scalar pre-check inside the
+        kernel.  Either way the pair is one counted test — batching moves
+        work around but never changes how much verification is accounted.
         """
         start = time.perf_counter()
-        result = compiled_has_embedding(plan, target, vertex_mask)
+        if prerejected:
+            result = False
+        else:
+            result = compiled_has_embedding(
+                plan,
+                target,
+                vertex_mask,
+                kernel=self.kernel,
+                prechecked=prerejected is not None,
+            )
         self._record(result, time.perf_counter() - start)
         return result
 
@@ -187,4 +227,5 @@ class Verifier:
             induced=self.induced,
             compiled=self.compiled,
             precheck=self.precheck,
+            kernel=self.kernel,
         )

@@ -111,6 +111,8 @@ class SubgraphQueryMethod(ABC):
         #: sets produced by this method are bitmaps over this space
         self.id_space: GraphIdSpace | None = None
         self._graph_features: dict[Hashable, GraphFeatures] = {}
+        #: mode -> [SharedSnapshot, refcount] of published worker snapshots
+        self._shared_payloads: dict[str, list] = {}
 
     # ------------------------------------------------------------------
     # Index construction
@@ -202,8 +204,10 @@ class SubgraphQueryMethod(ABC):
 
         When the verifier admits the compiled fast path the query is
         compiled into a matching plan *once* and tested against the
-        database's cached :class:`CompiledTarget` of each candidate;
-        otherwise every candidate pair goes through the graph-based matcher
+        database's cached :class:`CompiledTarget` of each candidate; a
+        vectorised batched pre-reject (when enabled by the verifier's
+        ``kernel``) settles every certain negative in one array pass first.
+        Otherwise every candidate pair goes through the graph-based matcher
         exactly as before.
         """
         self._require_index()
@@ -212,9 +216,18 @@ class SubgraphQueryMethod(ABC):
         plan = verifier.compile_pattern(query)
         if plan is not None:
             compiled_target = self.database.compiled_target
-            for graph_id in candidate_ids:
-                if verifier.is_subgraph_compiled(plan, compiled_target(graph_id)):
-                    answers.add(graph_id)
+            candidates = list(candidate_ids)
+            rejected = self._batched_prereject(candidates, plan=plan)
+            if rejected is None:
+                for graph_id in candidates:
+                    if verifier.is_subgraph_compiled(plan, compiled_target(graph_id)):
+                        answers.add(graph_id)
+            else:
+                for graph_id, reject in zip(candidates, rejected):
+                    if verifier.is_subgraph_compiled(
+                        plan, compiled_target(graph_id), prerejected=bool(reject)
+                    ):
+                        answers.add(graph_id)
         else:
             for graph_id in candidate_ids:
                 if verifier.is_subgraph(query, self.database.get(graph_id)):
@@ -241,14 +254,42 @@ class SubgraphQueryMethod(ABC):
         target = verifier.compile_target(query)
         if target is not None:
             compiled_plan = self.database.compiled_plan
-            for graph_id in candidate_ids:
-                if verifier.is_subgraph_compiled(compiled_plan(graph_id), target):
-                    answers.add(graph_id)
+            candidates = list(candidate_ids)
+            rejected = self._batched_prereject(candidates, target=target)
+            if rejected is None:
+                for graph_id in candidates:
+                    if verifier.is_subgraph_compiled(compiled_plan(graph_id), target):
+                        answers.add(graph_id)
+            else:
+                for graph_id, reject in zip(candidates, rejected):
+                    if verifier.is_subgraph_compiled(
+                        compiled_plan(graph_id), target, prerejected=bool(reject)
+                    ):
+                        answers.add(graph_id)
         else:
             for graph_id in candidate_ids:
                 if verifier.is_subgraph(self.database.get(graph_id), query):
                     answers.add(graph_id)
         return answers
+
+    def _batched_prereject(self, candidates, plan=None, target=None):
+        """One vectorised signature pass over all candidates of a query.
+
+        Returns a boolean reject array aligned with ``candidates`` (entry
+        ``i`` is exactly the scalar pre-reject verdict of pair ``i``), or
+        ``None`` when batching is disabled (``kernel="bigint"``), numpy is
+        unavailable, or the batch is too small to benefit.  Passing the
+        verdict into :meth:`Verifier.is_subgraph_compiled` keeps per-pair
+        accounting identical to the scalar path.
+        """
+        if len(candidates) < 2 or not self.verifier.batched_prereject_enabled():
+            return None
+        signatures = self.database.dataset_signatures()
+        if signatures is None:
+            return None
+        if plan is not None:
+            return signatures.prereject_targets(plan, candidates)
+        return signatures.prereject_patterns(target, candidates)
 
     # ------------------------------------------------------------------
     # End-to-end query processing
@@ -339,6 +380,9 @@ class SubgraphQueryMethod(ABC):
             )
         clone = copy.copy(self)
         clone._graph_features = {}
+        # Published segments belong to the parent: the clone must neither
+        # pickle their OS handles nor share the refcounts.
+        clone._shared_payloads = {}
         clone.verifier = self.verifier.fresh_clone()
         return clone
 
@@ -358,6 +402,63 @@ class SubgraphQueryMethod(ABC):
             self.verification_snapshot(supergraph=supergraph, mode=mode),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
+
+    # ------------------------------------------------------------------
+    # Shared-memory snapshot publication (refcounted)
+    # ------------------------------------------------------------------
+    def acquire_shared_payload(self, mode: str | None = None):
+        """Publish (or re-use) the shared-memory snapshot for ``mode``.
+
+        Returns the :class:`~repro.core.shm.SnapshotHandle` workers attach
+        to, or ``None`` when shared memory is unavailable — callers then
+        fall back to :meth:`verification_payload` bytes.  The snapshot is
+        published once per mode and refcounted: every acquire must be paired
+        with a :meth:`release_shared_payload`, and the segment is unlinked
+        when the count drops to zero (or force-released by
+        :meth:`release_shared_payloads` at engine close).
+        """
+        from ..core import shm
+
+        if mode is None:
+            mode = "subgraph"
+        entry = self._shared_payloads.get(mode)
+        if entry is None:
+            snapshot = shm.publish(self.verification_snapshot(mode=mode))
+            if snapshot is None:
+                return None
+            entry = [snapshot, 0]
+            self._shared_payloads[mode] = entry
+        entry[1] += 1
+        return entry[0].handle
+
+    def release_shared_payload(self, mode: str | None = None) -> None:
+        """Drop one reference to ``mode``'s published snapshot.
+
+        Unlinks the segment when the last reference drops.  Releasing a
+        mode that is not currently published is a no-op (the engine-close
+        safety net may already have force-released it).
+        """
+        if mode is None:
+            mode = "subgraph"
+        entry = self._shared_payloads.get(mode)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._shared_payloads[mode]
+            entry[0].close()
+
+    def release_shared_payloads(self) -> None:
+        """Force-unlink every published snapshot regardless of refcount.
+
+        Safety net called from :meth:`repro.core.engine.IGQ.close` so a
+        leaked executor cannot leave segments behind; pool workers that
+        already attached are unaffected (the mapping survives the unlink
+        until they detach).
+        """
+        payloads, self._shared_payloads = self._shared_payloads, {}
+        for snapshot, _refs in payloads.values():
+            snapshot.close()
 
     # ------------------------------------------------------------------
     def graph_features(self, graph_id: Hashable) -> GraphFeatures:

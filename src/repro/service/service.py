@@ -118,6 +118,7 @@ class SessionStats:
         return self.filter_seconds + self.igq_seconds + self.verify_seconds
 
     def as_dict(self) -> dict:
+        """JSON-serialisable snapshot of the counters (report payload)."""
         return {
             "name": self.name,
             "queries": self.queries,
@@ -220,6 +221,7 @@ class ServiceSession:
 
     @property
     def name(self) -> str:
+        """The session's label (as shown in service reports)."""
         return self.stats.name
 
     def submit(self, query: LabeledGraph, mode: str | None = None) -> Future:
@@ -369,6 +371,7 @@ class GraphQueryService:
 
     @property
     def is_open(self) -> bool:
+        """True between a successful :meth:`open` and :meth:`close`."""
         return self._opened and not self._closed and self._error is None
 
     def __enter__(self) -> "GraphQueryService":

@@ -20,6 +20,7 @@ from repro.graphs.traversal import connected_components
 from repro.isomorphism import (
     CompiledQueryPlan,
     CompiledTarget,
+    DatasetSignatures,
     VF2Matcher,
     Verifier,
     compile_query_plan,
@@ -27,6 +28,7 @@ from repro.isomorphism import (
     compiled_has_embedding,
     masked_components,
     masked_edge_count,
+    numpy_kernel_available,
     signature_prereject,
 )
 from repro.methods import ScanMethod
@@ -386,3 +388,182 @@ class TestRegionMaskedKernel:
         assert not verifier.is_subgraph_compiled(plan, target, vertex_mask=0b001)
         assert verifier.stats.tests == 2
         assert verifier.stats.positives == 1 and verifier.stats.negatives == 1
+
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_kernel_available(), reason="numpy >= 2.0 little-endian kernel unavailable"
+)
+
+
+@needs_numpy
+class TestNumpyKernel:
+    """``kernel="numpy"`` must be observationally identical to the bigint
+    loop — same boolean on every (plan, target, mask) triple, since the
+    engine's byte-identity guarantee rides on the two kernels agreeing."""
+
+    def both_kernels(self, plan, target, mask=None) -> bool:
+        bigint = compiled_has_embedding(plan, target, mask, kernel="bigint")
+        vectorised = compiled_has_embedding(plan, target, mask, kernel="numpy")
+        assert vectorised == bigint
+        return bigint
+
+    def test_known_cases_agree(self):
+        cases = [
+            (make_path_graph("ABC"), make_cycle_graph("ABC")),
+            (make_cycle_graph("ABC"), make_path_graph("ABC")),
+            (make_cycle_graph("AAA"), make_clique("AAAA")),
+            (make_star_graph("A", "BBB"), make_path_graph("BAB")),
+            (LabeledGraph(), make_path_graph("AB")),
+        ]
+        for pattern, target_graph in cases:
+            self.both_kernels(compile_query_plan(pattern), compile_target(target_graph))
+
+    def test_random_pairs_subgraph_direction(self):
+        rng = random.Random(171)  # the TestCrossValidation corpus
+        positives = 0
+        for _ in range(400):
+            pattern, target_graph = random_pair(rng)
+            positives += self.both_kernels(
+                compile_query_plan(pattern), compile_target(target_graph)
+            )
+        assert positives > 20  # both outcomes exercised
+
+    def test_random_pairs_supergraph_direction(self):
+        rng = random.Random(733)
+        for _ in range(200):
+            query = random_labeled_graph(rng, rng.randint(3, 10), 0.4)
+            compiled_query = compile_target(query)
+            dataset_graph = random_labeled_graph(rng, rng.randint(1, 6), 0.5)
+            self.both_kernels(compile_query_plan(dataset_graph), compiled_query)
+
+    def test_multi_word_targets(self):
+        """Targets past 64 vertices span several uint64 words — the word
+        arithmetic (shift-by-6 gathers, cross-word lookahead) must agree."""
+        rng = random.Random(65)
+        for _ in range(40):
+            target_graph = random_labeled_graph(rng, rng.randint(65, 150), 0.05)
+            target = compile_target(target_graph)
+            for _ in range(5):
+                pattern = random_labeled_graph(rng, rng.randint(2, 6), 0.5)
+                self.both_kernels(compile_query_plan(pattern), target)
+
+    def test_masked_regions_agree(self):
+        rng = random.Random(4242)  # the TestRegionMaskedKernel corpus
+        for _ in range(200):
+            target_graph = random_labeled_graph(
+                rng, rng.randint(2, 10), rng.random() * 0.6, connected=rng.random() < 0.6
+            )
+            pattern = random_labeled_graph(
+                rng, rng.randint(1, 4), rng.random() * 0.8, connected=rng.random() < 0.8
+            )
+            target = compile_target(target_graph)
+            vertices = [vertex for vertex in target_graph.vertices() if rng.random() < 0.6]
+            self.both_kernels(
+                compile_query_plan(pattern), target, mask_of_vertices(target, vertices)
+            )
+
+    def test_verifier_accounting_identical_across_kernels(self, tiny_database):
+        query = make_path_graph("ABC")
+        verifiers = {name: Verifier(kernel=name) for name in ("bigint", "numpy", "auto")}
+        answers = {}
+        for name, verifier in verifiers.items():
+            plan = verifier.compile_pattern(query)
+            answers[name] = [
+                verifier.is_subgraph_compiled(plan, compile_target(tiny_database.get(gid)))
+                for gid in tiny_database.ids()
+            ]
+        assert answers["bigint"] == answers["numpy"] == answers["auto"]
+        reference = verifiers["bigint"].stats
+        for name in ("numpy", "auto"):
+            stats = verifiers[name].stats
+            assert stats.tests == reference.tests
+            assert stats.positives == reference.positives
+            assert stats.negatives == reference.negatives
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            compiled_has_embedding(
+                compile_query_plan(make_path_graph("AB")),
+                compile_target(make_path_graph("AB")),
+                kernel="simd",
+            )
+        with pytest.raises(ValueError, match="kernel"):
+            Verifier(kernel="simd")
+
+    def test_arrays_are_lazy_and_excluded_from_pickles(self):
+        target = compile_target(make_clique("ABCD"))
+        assert target._arrays is None
+        arrays = target.arrays()
+        assert target.arrays() is arrays  # cached
+        clone = pickle.loads(pickle.dumps(target))
+        assert clone._arrays is None  # snapshots ship the compact form
+        assert compiled_has_embedding(
+            compile_query_plan(make_cycle_graph("ABC")), clone, kernel="numpy"
+        )
+
+
+@needs_numpy
+class TestDatasetSignatures:
+    """The batched prereject must equal the scalar ``plan.prereject`` /
+    ``signature_prereject`` verdict element-for-element in both directions."""
+
+    def build_corpus(self, seed: int, count: int):
+        rng = random.Random(seed)
+        graphs = {
+            f"g{i}": random_labeled_graph(
+                rng, rng.randint(1, 10), rng.random() * 0.6, connected=rng.random() < 0.7
+            )
+            for i in range(count)
+        }
+        return rng, graphs
+
+    def test_prereject_targets_matches_scalar(self):
+        rng, graphs = self.build_corpus(555, 40)
+        signatures = DatasetSignatures(graphs)
+        ids = list(graphs)
+        for _ in range(30):
+            pattern = random_labeled_graph(rng, rng.randint(1, 6), rng.random() * 0.8)
+            plan = compile_query_plan(pattern)
+            batched = signatures.prereject_targets(plan, ids)
+            for graph_id, verdict in zip(ids, batched):
+                expected = plan.prereject(compile_target(graphs[graph_id]))
+                assert bool(verdict) == expected, graph_id
+
+    def test_prereject_patterns_matches_scalar(self):
+        rng, graphs = self.build_corpus(556, 40)
+        signatures = DatasetSignatures(graphs)
+        ids = list(graphs)
+        for _ in range(30):
+            query = random_labeled_graph(rng, rng.randint(2, 8), rng.random() * 0.6)
+            target = compile_target(query)
+            batched = signatures.prereject_patterns(target, ids)
+            for graph_id, verdict in zip(ids, batched):
+                expected = compile_query_plan(graphs[graph_id]).prereject(target)
+                assert bool(verdict) == expected, graph_id
+
+    def test_prereject_is_sound(self):
+        """A batched reject must imply no embedding exists (soundness of the
+        precheck, restated for the vectorised form)."""
+        rng, graphs = self.build_corpus(557, 25)
+        signatures = DatasetSignatures(graphs)
+        ids = list(graphs)
+        rejected = 0
+        for _ in range(20):
+            pattern = random_labeled_graph(rng, rng.randint(1, 5), rng.random() * 0.8)
+            plan = compile_query_plan(pattern)
+            for graph_id, verdict in zip(ids, signatures.prereject_targets(plan, ids)):
+                if verdict:
+                    rejected += 1
+                    assert not VF2Matcher(pattern, graphs[graph_id]).has_match()
+        assert rejected > 0
+
+    def test_database_invalidates_signatures_on_insert(self, tiny_database):
+        first = tiny_database.dataset_signatures()
+        assert first is not None
+        assert tiny_database.dataset_signatures() is first  # cached
+        tiny_database.add("late", make_path_graph("AAB", name="late"))
+        rebuilt = tiny_database.dataset_signatures()
+        assert rebuilt is not first
+        plan = compile_query_plan(make_path_graph("AAB"))
+        verdicts = rebuilt.prereject_targets(plan, ["late"])
+        assert not bool(verdicts[0])

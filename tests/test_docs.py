@@ -1,0 +1,105 @@
+"""Docs-vs-code sync checks for the engineering handbook.
+
+The configuration reference (``docs/configuration.md``) promises to list
+every ``EngineConfig`` field.  This test introspects the dataclass tree —
+top-level fields plus every section field as a ``section.field`` token —
+and fails when the docs and the code disagree in either direction, so the
+reference cannot silently rot when a field is added, renamed or removed.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from dataclasses import fields
+
+from repro.core.config import EngineConfig, _SECTIONS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+CONFIGURATION_MD = DOCS / "configuration.md"
+
+
+def documented_tokens() -> set[str]:
+    """Backticked tokens in the reference tables (`` `mode` ``, `` `cache.size` ``)."""
+    text = CONFIGURATION_MD.read_text(encoding="utf-8")
+    return set(re.findall(r"`([a-z_]+(?:\.[a-z_]+)?)`", text))
+
+
+def code_tokens() -> set[str]:
+    tokens = set()
+    for field in fields(EngineConfig):
+        if field.name in _SECTIONS:
+            tokens.add(field.name)
+            tokens.update(
+                f"{field.name}.{section_field.name}"
+                for section_field in fields(_SECTIONS[field.name])
+            )
+        else:
+            tokens.add(field.name)
+    return tokens
+
+
+class TestConfigurationReference:
+    def test_docs_exist(self):
+        assert CONFIGURATION_MD.is_file(), "docs/configuration.md is missing"
+
+    def test_every_config_field_is_documented(self):
+        missing = code_tokens() - documented_tokens()
+        assert not missing, (
+            f"EngineConfig fields missing from docs/configuration.md: "
+            f"{sorted(missing)} — add a table row with the backticked token"
+        )
+
+    def test_no_phantom_fields_documented(self):
+        """Dotted tokens in the docs must exist in the dataclass tree (plain
+        words appear in prose freely; only section.field tokens are load-
+        bearing enough to verify)."""
+        dotted = {token for token in documented_tokens() if "." in token}
+        phantom = dotted - code_tokens()
+        assert not phantom, (
+            f"docs/configuration.md documents nonexistent config fields: "
+            f"{sorted(phantom)} — the field was renamed or removed"
+        )
+
+    def test_accepted_choices_documented(self):
+        """The validated choice tuples must appear verbatim in the docs."""
+        from repro.core import config as config_module
+
+        text = CONFIGURATION_MD.read_text(encoding="utf-8")
+        for tuple_name in ("MODES", "_KERNELS", "_POLICIES", "_BATCH_BACKENDS",
+                           "_SHARD_BACKENDS", "_ALGORITHMS"):
+            for choice in getattr(config_module, tuple_name):
+                assert f'"{choice}"' in text, (
+                    f"accepted value {choice!r} ({tuple_name}) is not mentioned "
+                    f"in docs/configuration.md"
+                )
+
+
+class TestHandbookStructure:
+    PAGES = ("architecture.md", "performance.md", "configuration.md", "operations.md")
+
+    def test_all_pages_exist(self):
+        for page in self.PAGES:
+            assert (DOCS / page).is_file(), f"docs/{page} is missing"
+
+    def test_readme_links_every_page(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for page in self.PAGES:
+            assert f"docs/{page}" in readme, f"README does not link docs/{page}"
+
+    def test_internal_links_resolve(self):
+        """Every relative markdown link in docs/ and README points at a file
+        that exists (anchors are stripped; external URLs are ignored)."""
+        sources = [REPO_ROOT / "README.md", *sorted(DOCS.glob("*.md"))]
+        broken = []
+        for source in sources:
+            text = source.read_text(encoding="utf-8")
+            for target in re.findall(r"\[[^\]]*\]\(([^)\s]+)\)", text):
+                if target.startswith(("http://", "https://", "#", "mailto:")):
+                    continue
+                path = (source.parent / target.split("#", 1)[0]).resolve()
+                if not path.exists():
+                    broken.append(f"{source.relative_to(REPO_ROOT)} -> {target}")
+        assert not broken, f"broken relative links: {broken}"
