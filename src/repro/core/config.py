@@ -216,12 +216,39 @@ class ShardConfig:
     backend: str = "auto"
     #: compact the delta log above this many records (``None`` = never)
     compact_threshold: int | None = 1024
+    #: replicate an entry onto other shards once it has been hit by this
+    #: many probes (``None`` = hot-key replication and probe-side pruning
+    #: off — the static-partition behaviour)
+    hot_threshold: int | None = None
+    #: rebalance cold entries between partitions every this many window
+    #: flushes (``None`` = partitions stay at their canonical-hash homes)
+    rebalance_interval: int | None = None
+    #: shards holding each hot entry (``None`` = all of them; otherwise
+    #: ``2 <= replication_factor <= shards``)
+    replication_factor: int | None = None
 
     def __post_init__(self) -> None:
         _require_positive_int("shard", "shards", self.shards)
         _require_choice("shard", "backend", self.backend, _SHARD_BACKENDS)
         if self.compact_threshold is not None:
             _require_positive_int("shard", "compact_threshold", self.compact_threshold)
+        if self.hot_threshold is not None:
+            _require_positive_int("shard", "hot_threshold", self.hot_threshold)
+        if self.rebalance_interval is not None:
+            _require_positive_int("shard", "rebalance_interval", self.rebalance_interval)
+        if self.replication_factor is not None:
+            _require_positive_int("shard", "replication_factor", self.replication_factor)
+            _require(
+                self.replication_factor >= 2,
+                f"shard.replication_factor={self.replication_factor} is not "
+                "valid; expected >= 2 (one copy is just the home shard — use "
+                "None for full replication)",
+            )
+            _require(
+                self.replication_factor <= self.shards,
+                f"shard.replication_factor={self.replication_factor} cannot "
+                f"exceed shard.shards={self.shards}",
+            )
 
 
 @dataclass(frozen=True)

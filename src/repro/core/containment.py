@@ -61,6 +61,15 @@ class ContainmentIndex:
         effective dispatch also requires the verifier to admit the kernel
         (``verifier.supports_compiled()``), so ``compiled=False`` here or
         ``Verifier(compiled=False)`` both restore the dict-based matcher.
+    lite:
+        Skip the feature trie.  A lite index stores entries and compiled
+        state but no posting lists, so ``add``/``remove`` are O(1) instead
+        of O(features) — and every lookup runs the per-entry dominance
+        check (equivalent to the trie filter, see the ``restrict_ids``
+        paths of the subclasses) over all entries.  Right for small stores
+        whose lookups are always restricted anyway, such as the sharded
+        runtime's replica stores: a replicate record then installs in
+        constant time.
     """
 
     #: does the cached entry play the *target* role in this direction
@@ -68,9 +77,15 @@ class ContainmentIndex:
     #: (``Isuper``: cached graph ⊆ new query)?
     entry_is_target: bool = True
 
-    def __init__(self, verifier: Verifier | None = None, compiled: bool = True) -> None:
+    def __init__(
+        self,
+        verifier: Verifier | None = None,
+        compiled: bool = True,
+        lite: bool = False,
+    ) -> None:
         self.verifier = verifier if verifier is not None else Verifier()
         self.compiled = compiled
+        self.lite = lite
         self._trie = FeatureTrie()
         self._entries: dict[int, CacheEntry] = {}
         #: dense bit positions for candidate bitmasks (raw entry ids are
@@ -94,11 +109,12 @@ class ContainmentIndex:
         """
         self._entries[entry.entry_id] = entry
         self._slots.add(entry.entry_id)
-        keys = tuple(entry.features.counts)
-        self._feature_keys[entry.entry_id] = keys
-        counts = entry.features.counts
-        for key in keys:
-            self._trie.insert(key, entry.entry_id, counts[key])
+        if not self.lite:
+            keys = tuple(entry.features.counts)
+            self._feature_keys[entry.entry_id] = keys
+            counts = entry.features.counts
+            for key in keys:
+                self._trie.insert(key, entry.entry_id, counts[key])
         if self.use_compiled():
             self._compile_entry(entry)
         self._entry_added(entry)

@@ -271,6 +271,13 @@ class IGQ:
         #: memoised ``entry_id -> answer bitmask`` for the cached entries;
         #: invalidated whenever a window flush changes the cache contents
         self._answer_masks: dict[int, int] = {}
+        #: ``id(query) -> (query, features)`` — repeat-heavy streams reuse
+        #: the same graph objects (workload pools, batch inputs), and
+        #: feature extraction is a pure function of the graph, so repeats
+        #: skip the path enumeration.  The graph reference pins the object
+        #: alive, keeping the id stable (same scheme as the sharded
+        #: engine's routing memo and the batch executor's feature memo).
+        self._feature_memo: dict[int, tuple[LabeledGraph, GraphFeatures]] = {}
 
     @classmethod
     def from_config(
@@ -408,7 +415,15 @@ class IGQ:
         # Stage 1 — the base method's filtering (Figure 6, thread 1).
         start = time.perf_counter()
         if features is None:
-            features = method.extract_query_features(query)
+            memo = self._feature_memo
+            cached = memo.get(id(query))
+            if cached is not None and cached[0] is query:
+                features = cached[1]
+            else:
+                features = method.extract_query_features(query)
+                if len(memo) >= 8192:
+                    memo.clear()
+                memo[id(query)] = (query, features)
         if supergraph:
             candidates = method.filter_supergraph_candidates(query, features=features)
         else:

@@ -45,6 +45,7 @@ class SubgraphQueryIndex(ContainmentIndex):
         query: LabeledGraph,
         features: GraphFeatures,
         query_side_cache: dict | None = None,
+        restrict_ids=None,
     ) -> list[CacheEntry]:
         """Return the cached entries ``G`` with ``query ⊆ G`` (``Isub(g)``).
 
@@ -53,10 +54,37 @@ class SubgraphQueryIndex(ContainmentIndex):
         dual of the dataset-side filtering).  Each surviving candidate is
         verified with a subgraph isomorphism test, so no false positives are
         possible (formula (1)).  ``query_side_cache`` lets a sharded probe
-        share the query's compiled plan across several index partitions.
+        share the query's compiled plan across several index partitions;
+        ``restrict_ids`` limits the lookup to a subset of the indexed
+        entries (the sharded runtime's per-probe replica assignment).
         """
         if not self._entries:
             return []
+        if restrict_ids is None and self.lite:
+            # A lite index has no trie to filter with; the per-entry
+            # dominance check below is its (equivalent) filtering path.
+            restrict_ids = tuple(self._entries)
+        if restrict_ids is not None:
+            # Small explicit candidate set: test the dominance condition
+            # per entry against its own feature counts (the same counts the
+            # trie postings hold) instead of walking every posting list —
+            # O(|restrict_ids| x query features), so a covering probe for a
+            # handful of replicas costs almost nothing.
+            slots = self._slots
+            candidate_mask = 0
+            for entry_id in restrict_ids:
+                entry = self._entries.get(entry_id)
+                if entry is None:
+                    continue
+                counts = entry.features.counts
+                for key, required in features.counts.items():
+                    if counts.get(key, 0) < required:
+                        break
+                else:
+                    candidate_mask |= slots.bit(entry_id)
+            if not candidate_mask:
+                return []
+            return self._verified_hits(query, candidate_mask, query_side_cache)
         # Candidate bookkeeping as an integer bitmask over dense entry
         # positions (the allocation order of the current index generation,
         # which matches insertion order until a removed slot is recycled).

@@ -93,15 +93,44 @@ class SupergraphQueryIndex(ContainmentIndex):
         query: LabeledGraph,
         features: GraphFeatures,
         query_side_cache: dict | None = None,
+        restrict_ids=None,
     ) -> list[CacheEntry]:
         """Return the cached entries ``G`` with ``G ⊆ query`` (``Isuper(g)``).
 
         ``query_side_cache`` lets a sharded probe share the query's compiled
-        target across several index partitions.
+        target across several index partitions; ``restrict_ids`` limits the
+        lookup to a subset of the indexed entries (the sharded runtime's
+        per-probe replica assignment).
         """
         if not self._entries:
             return []
-        return self._verified_hits(query, self.candidate_mask(features), query_side_cache)
+        if restrict_ids is None and self.lite:
+            # A lite index has no trie for Algorithm 2's tallying; the
+            # per-entry check below is its (equivalent) filtering path.
+            restrict_ids = tuple(self._entries)
+        if restrict_ids is not None:
+            # Small explicit candidate set: Algorithm 2's tally condition
+            # (``tally == NF[g_i]``) holds exactly when every feature of the
+            # cached query occurs in ``g`` at least as often, which is
+            # checkable per entry from its own feature counts — no posting
+            # walk, O(|restrict_ids| x entry features).
+            available = features.counts
+            slots = self._slots
+            mask = 0
+            for entry_id in restrict_ids:
+                entry = self._entries.get(entry_id)
+                if entry is None:
+                    continue
+                for key, occurrences in entry.features.counts.items():
+                    if available.get(key, 0) < occurrences:
+                        break
+                else:
+                    mask |= slots.bit(entry_id)
+            if not mask:
+                return []
+            return self._verified_hits(query, mask, query_side_cache)
+        mask = self.candidate_mask(features)
+        return self._verified_hits(query, mask, query_side_cache)
 
     # ------------------------------------------------------------------
     def num_features(self, entry_id: int) -> int:

@@ -25,6 +25,22 @@ architecture:
   and replays from the beginning — the only case that degenerates to a
   rebuild.
 
+* **Hot-key replication and rebalancing** — static canonical-key partitions
+  send every probe for a popular query to the same shard, so a Zipf-skewed
+  stream saturates one partition while the rest idle.  With
+  ``shard.hot_threshold`` set, the parent counts per-entry probe hits and,
+  at the next window flush, emits ``replicate`` records installing the hot
+  entries' already-compiled payloads on other shards (all of them, or a
+  ``replication_factor``-sized holder group), while per-partition feature
+  summaries let each probe *skip* shards whose partition provably cannot
+  contain a hit — exactly one shard containment-tests each live entry per
+  probe, so answers and accounting stay byte-identical.
+  ``shard.rebalance_interval`` additionally emits ``move`` records shifting
+  cold entries from the hottest partition to the coldest at flush
+  boundaries, so partitions equalise under topic drift.  Both knobs default
+  to off, which reproduces the static-partition behaviour (and its delta
+  stream) byte-for-byte.
+
 * **Execution** — :class:`ShardedIGQ` is a drop-in :class:`IGQ` engine.
   With ``shards=1`` it *is* today's engine (the A/B baseline: same code
   paths, no delta log).  With ``shards>1`` the window flush emits deltas and
@@ -43,10 +59,11 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import threading
 import warnings
 from bisect import bisect_right
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 
 from ..features.canonical import canonical_graph_key
 from ..features.extractor import GraphFeatures
@@ -66,6 +83,8 @@ __all__ = [
     "DELTA_INSERT",
     "DELTA_EVICT",
     "DELTA_FLUSH",
+    "DELTA_REPLICATE",
+    "DELTA_MOVE",
     "CacheDelta",
     "DeltaLog",
     "DeltaLogTruncated",
@@ -84,8 +103,14 @@ SHARD_BACKENDS = ("auto", "inline", "process")
 DELTA_INSERT = "insert"
 DELTA_EVICT = "evict"
 DELTA_FLUSH = "flush"
+#: install a hot entry's compiled payload on shards beyond its home
+DELTA_REPLICATE = "replicate"
+#: transfer a (non-replicated) entry from one home partition to another
+DELTA_MOVE = "move"
 
-#: ``CacheDelta.shard`` value of flush markers, which address every shard
+#: ``CacheDelta.shard`` value of records addressing every shard (flush
+#: markers, replicate records, and evictions of replicated entries —
+#: optionally narrowed by ``CacheDelta.targets``)
 BROADCAST = -1
 
 
@@ -144,11 +169,21 @@ class CacheDelta:
     #: window-flush generation the record belongs to
     epoch: int
     #: one of :data:`DELTA_INSERT` / :data:`DELTA_EVICT` / :data:`DELTA_FLUSH`
+    #: / :data:`DELTA_REPLICATE` / :data:`DELTA_MOVE`
     op: str
-    #: owning shard, or :data:`BROADCAST` for flush markers
+    #: addressed shard — the owning shard for inserts/evicts, the
+    #: *destination* shard for moves, or :data:`BROADCAST`
     shard: int
     entry_id: int | None = None
     entry: ShardEntry | None = None
+    #: the shard a ``move`` record transfers the entry away from (the
+    #: record addresses both ``src_shard`` and ``shard``)
+    src_shard: int | None = None
+    #: for :data:`BROADCAST` records, the shards actually addressed
+    #: (``None`` = all of them); a ``replication_factor`` below the shard
+    #: count narrows replicate records (and the matching evictions) to the
+    #: entry's holder group
+    targets: tuple[int, ...] | None = None
 
 
 class DeltaLogTruncated(RuntimeError):
@@ -206,8 +241,16 @@ class DeltaLog:
             )
         )
 
-    def append_evict(self, shard: int, entry_id: int) -> CacheDelta:
-        """Record that the entry ``entry_id`` left the cache."""
+    def append_evict(
+        self, shard: int, entry_id: int, targets: tuple[int, ...] | None = None
+    ) -> CacheDelta:
+        """Record that the entry ``entry_id`` left the cache.
+
+        ``shard`` is the entry's home shard, or :data:`BROADCAST` for a
+        replicated entry (every holder drops its copy; ``targets`` narrows
+        the broadcast to the holder group when the entry was replicated
+        with a factor below the shard count).
+        """
         return self._append(
             CacheDelta(
                 version=self._version + 1,
@@ -215,6 +258,52 @@ class DeltaLog:
                 op=DELTA_EVICT,
                 shard=shard,
                 entry_id=entry_id,
+                targets=targets,
+            )
+        )
+
+    def append_replicate(
+        self, entry: ShardEntry, targets: tuple[int, ...] | None = None
+    ) -> CacheDelta:
+        """Record that ``entry`` went hot: install it on the target shards.
+
+        The payload carries the compiled state built once in the parent, so
+        no holder recompiles; on the entry's home shard the record also
+        retires the home-partition copy (the entry is served from the
+        replica store everywhere from now on, by exactly one covering shard
+        per probe).
+        """
+        return self._append(
+            CacheDelta(
+                version=self._version + 1,
+                epoch=self._epoch,
+                op=DELTA_REPLICATE,
+                shard=BROADCAST,
+                entry_id=entry.entry_id,
+                entry=entry,
+                targets=targets,
+            )
+        )
+
+    def append_move(
+        self, entry: ShardEntry, src_shard: int, dst_shard: int
+    ) -> CacheDelta:
+        """Record a rebalance transfer of ``entry`` between home partitions.
+
+        Addresses both sides: ``src_shard`` drops its copy, ``dst_shard``
+        installs the carried payload.  The payload keeps bootstrap-from-0
+        replays compile-free even after the source copy released its
+        instance pointers.
+        """
+        return self._append(
+            CacheDelta(
+                version=self._version + 1,
+                epoch=self._epoch,
+                op=DELTA_MOVE,
+                shard=dst_shard,
+                entry_id=entry.entry_id,
+                entry=entry,
+                src_shard=src_shard,
             )
         )
 
@@ -241,13 +330,16 @@ class DeltaLog:
     def since(self, version: int, shard: int | None = None) -> list[CacheDelta]:
         """Records after ``version``, oldest first.
 
-        ``shard`` filters to one shard's inserts/evicts plus every flush
-        marker (markers are broadcast so each replica tracks the epoch).
-        ``version=0`` always means "bootstrap from scratch" and is valid on
-        a compacted log — the retained prefix is the net state.  Any other
-        version below the compaction floor raises :class:`DeltaLogTruncated`
-        (the subscriber may hold entries whose eviction records were folded
-        away, so replaying the tail cannot repair it).
+        ``shard`` filters to the records addressing that shard: its own
+        inserts/evicts, moves it is the source or destination of, broadcast
+        records whose ``targets`` include it (or are unrestricted), and
+        every flush marker (markers are broadcast so each replica tracks
+        the epoch).  ``version=0`` always means "bootstrap from scratch"
+        and is valid on a compacted log — the retained prefix is the net
+        state.  Any other version below the compaction floor raises
+        :class:`DeltaLogTruncated` (the subscriber may hold entries whose
+        eviction records were folded away, so replaying the tail cannot
+        repair it).
         """
         if 0 < version < self._floor_version:
             raise DeltaLogTruncated(
@@ -263,11 +355,18 @@ class DeltaLog:
         records = self._records[start:]
         if shard is None:
             return records
-        return [
-            record
-            for record in records
-            if record.shard == shard or record.op == DELTA_FLUSH
-        ]
+        return [record for record in records if self._addresses(record, shard)]
+
+    @staticmethod
+    def _addresses(record: CacheDelta, shard: int) -> bool:
+        """Does ``record`` address ``shard``? (the ``since`` filter)"""
+        if record.op == DELTA_FLUSH:
+            return True
+        if record.src_shard == shard:
+            return True
+        if record.shard == BROADCAST:
+            return record.targets is None or shard in record.targets
+        return record.shard == shard
 
     # ------------------------------------------------------------------
     # Compaction
@@ -279,12 +378,20 @@ class DeltaLog:
         sharded engine uses the minimum shipped version).  Insert records
         whose entry is still live at the horizon are retained with their
         original versions; matched insert/evict pairs and flush markers in
-        the prefix are dropped.  Returns the number of records removed.
+        the prefix are dropped.  A ``move`` folds into its entry's retained
+        insert (home shard and payload rewritten — the move's payload, not
+        the original, because the source replica released the original
+        instance's compiled pointers on transfer).  A ``replicate``
+        supersedes its entry's insert outright: replaying the replicate
+        alone reinstalls the entry in every holder's replica store, which
+        *is* the net state of a hot entry.  Returns the number of records
+        removed.
         """
         up_to_version = min(up_to_version, self._version)
         if up_to_version <= self._floor_version:
             return 0
         live: dict[int, CacheDelta] = {}
+        replicated: dict[int, CacheDelta] = {}
         suffix: list[CacheDelta] = []
         for record in self._records:
             if record.version > up_to_version:
@@ -293,10 +400,75 @@ class DeltaLog:
                 live[record.entry_id] = record
             elif record.op == DELTA_EVICT:
                 live.pop(record.entry_id, None)
-        removed = len(self._records) - len(live) - len(suffix)
-        self._records = sorted(live.values(), key=lambda r: r.version) + suffix
+                replicated.pop(record.entry_id, None)
+            elif record.op == DELTA_MOVE:
+                insert = live.get(record.entry_id)
+                if insert is not None:
+                    live[record.entry_id] = dataclass_replace(
+                        insert, shard=record.shard, entry=record.entry
+                    )
+            elif record.op == DELTA_REPLICATE:
+                replicated[record.entry_id] = record
+                live.pop(record.entry_id, None)
+        retained = sorted(
+            list(live.values()) + list(replicated.values()),
+            key=lambda r: r.version,
+        )
+        removed = len(self._records) - len(retained) - len(suffix)
+        self._records = retained + suffix
         self._floor_version = up_to_version
         return removed
+
+
+class ReplicaGroup:
+    """One physical copy of the replicated-entry indexes, shared by shards.
+
+    Replicated entries are by definition identical on every holder, so
+    co-resident shards (the inline backend) would otherwise maintain
+    ``num_shards`` copies of every hot entry's postings — and pay
+    ``num_shards`` trie insertions per replicate record.  Shards attached
+    to a group bind their replica store and index pair to the group's;
+    :meth:`QueryIndexShard.apply` installs a replicate record only for the
+    first member that sees it and removal is already lenient, so replay
+    stays correct record-by-record.  Cross-process shards cannot share
+    memory and simply run without a group (one copy per worker).
+    """
+
+    def __init__(
+        self,
+        verifier: Verifier,
+        compiled: bool = True,
+        enable_isub: bool = True,
+        enable_isuper: bool = True,
+    ) -> None:
+        self.replicas: dict[int, ShardEntry] = {}
+        self.isub = (
+            SubgraphQueryIndex(verifier, compiled=compiled, lite=True)
+            if enable_isub
+            else None
+        )
+        self.isuper = (
+            SupergraphQueryIndex(verifier, compiled=compiled, lite=True)
+            if enable_isuper
+            else None
+        )
+        #: the member that accounts for the shared structures (sizes)
+        self.owner: int | None = None
+
+    def clear(self) -> None:
+        """Drop every replica *in place* (member index references stay valid).
+
+        Idempotent: a reset wave hits every member in turn, and each
+        member's replay from version 0 reinstalls the same replicate
+        records, so clearing on each reset converges to the right state.
+        """
+        for entry_id in list(self.replicas):
+            entry = self.replicas.pop(entry_id)
+            if self.isub is not None:
+                self.isub.remove(entry_id)
+            if self.isuper is not None:
+                self.isuper.remove(entry_id)
+            entry.release_compiled()
 
 
 class QueryIndexShard:
@@ -304,8 +476,12 @@ class QueryIndexShard:
 
     Holds the same two containment indexes the single-shard engine uses,
     restricted to the entries routed to this shard, plus the replication
-    cursor (``applied_version``/``epoch``).  Lives either in the parent
-    process (inline backend) or inside a dedicated worker process.
+    cursor (``applied_version``/``epoch``).  Replicated (hot) entries live
+    in a *second* index pair — the replica store, optionally shared with
+    co-resident shards through a :class:`ReplicaGroup` — so home-partition
+    probes never walk them and a covering probe can be restricted to
+    exactly the replicas assigned to this shard.  Lives either in the
+    parent process (inline backend) or inside a dedicated worker process.
     """
 
     def __init__(
@@ -315,6 +491,7 @@ class QueryIndexShard:
         compiled: bool = True,
         enable_isub: bool = True,
         enable_isuper: bool = True,
+        replica_group: ReplicaGroup | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.verifier = verifier if verifier is not None else Verifier()
@@ -324,6 +501,9 @@ class QueryIndexShard:
         self.applied_version = 0
         self.epoch = 0
         self._entries: dict[int, ShardEntry] = {}
+        self._replica_group = replica_group
+        if replica_group is not None and replica_group.owner is None:
+            replica_group.owner = shard_id
         self._make_indexes()
 
     def _make_indexes(self) -> None:
@@ -334,6 +514,26 @@ class QueryIndexShard:
         )
         self.isuper = (
             SupergraphQueryIndex(self.verifier, compiled=self.compiled)
+            if self.enable_isuper
+            else None
+        )
+        group = self._replica_group
+        if group is not None:
+            self._replicas = group.replicas
+            self.replica_isub = group.isub
+            self.replica_isuper = group.isuper
+            return
+        self._replicas = {}
+        # Replica lookups are always restricted (to the probe's cover
+        # assignment, or to the whole store), so the replica indexes are
+        # lite: no posting lists, constant-time replicate installs.
+        self.replica_isub = (
+            SubgraphQueryIndex(self.verifier, compiled=self.compiled, lite=True)
+            if self.enable_isub
+            else None
+        )
+        self.replica_isuper = (
+            SupergraphQueryIndex(self.verifier, compiled=self.compiled, lite=True)
             if self.enable_isuper
             else None
         )
@@ -355,27 +555,90 @@ class QueryIndexShard:
                 raise ValueError(
                     f"delta for shard {delta.shard} misrouted to shard {self.shard_id}"
                 )
-            entry = delta.entry
-            self._entries[entry.entry_id] = entry
-            if self.isub is not None:
-                self.isub.add(entry)
-            if self.isuper is not None:
-                self.isuper.add(entry)
+            self._install_home(delta.entry)
         elif delta.op == DELTA_EVICT:
-            entry = self._entries.pop(delta.entry_id, None)
-            if entry is None:
+            if delta.shard == BROADCAST:
+                # Replicated-entry eviction: drop whichever copy this
+                # holder has (home copy too, for a pre-compaction replay
+                # where the original insert precedes the replicate).
+                # Absence is fine — targets may over-approximate after a
+                # reset, and non-holding shards simply no-op.
+                self._remove_home(delta.entry_id)
+                self._remove_replica(delta.entry_id)
+            else:
+                entry = self._remove_home(delta.entry_id)
+                if entry is None:
+                    raise ValueError(
+                        f"shard {self.shard_id} cannot evict unknown entry "
+                        f"{delta.entry_id}"
+                    )
+        elif delta.op == DELTA_REPLICATE:
+            if delta.targets is not None and self.shard_id not in delta.targets:
                 raise ValueError(
-                    f"shard {self.shard_id} cannot evict unknown entry {delta.entry_id}"
+                    f"replicate delta for shards {delta.targets} misrouted "
+                    f"to shard {self.shard_id}"
                 )
-            if self.isub is not None:
-                self.isub.remove(entry.entry_id)
-            if self.isuper is not None:
-                self.isuper.remove(entry.entry_id)
-            # A disabled index would leave its direction unreleased.
-            entry.release_compiled()
+            # The home copy (if this is the entry's home shard) retires:
+            # the entry is served from the replica stores only, by exactly
+            # one covering shard per probe.
+            self._remove_home(delta.entry_id)
+            entry = delta.entry
+            # With a shared ReplicaGroup another member may have installed
+            # this very record already; one physical copy is the point.
+            if entry.entry_id not in self._replicas:
+                self._replicas[entry.entry_id] = entry
+                if self.replica_isub is not None:
+                    self.replica_isub.add(entry)
+                if self.replica_isuper is not None:
+                    self.replica_isuper.add(entry)
+        elif delta.op == DELTA_MOVE:
+            if delta.src_shard == self.shard_id:
+                entry = self._remove_home(delta.entry_id)
+                if entry is None:
+                    raise ValueError(
+                        f"shard {self.shard_id} cannot move out unknown entry "
+                        f"{delta.entry_id}"
+                    )
+            elif delta.shard == self.shard_id:
+                self._install_home(delta.entry)
+            else:
+                raise ValueError(
+                    f"move delta {delta.src_shard}->{delta.shard} misrouted "
+                    f"to shard {self.shard_id}"
+                )
         else:
             raise ValueError(f"unknown delta op {delta.op!r}")
         self.applied_version = delta.version
+
+    def _install_home(self, entry: ShardEntry) -> None:
+        self._entries[entry.entry_id] = entry
+        if self.isub is not None:
+            self.isub.add(entry)
+        if self.isuper is not None:
+            self.isuper.add(entry)
+
+    def _remove_home(self, entry_id: int) -> ShardEntry | None:
+        entry = self._entries.pop(entry_id, None)
+        if entry is not None:
+            if self.isub is not None:
+                self.isub.remove(entry_id)
+            if self.isuper is not None:
+                self.isuper.remove(entry_id)
+            # A disabled index would leave its direction unreleased.  Only
+            # this instance's pointers drop — the compiled objects stay
+            # alive on the parent cache entry and any newer payload.
+            entry.release_compiled()
+        return entry
+
+    def _remove_replica(self, entry_id: int) -> ShardEntry | None:
+        entry = self._replicas.pop(entry_id, None)
+        if entry is not None:
+            if self.replica_isub is not None:
+                self.replica_isub.remove(entry_id)
+            if self.replica_isuper is not None:
+                self.replica_isuper.remove(entry_id)
+            entry.release_compiled()
+        return entry
 
     def catch_up(self, log: DeltaLog) -> int:
         """Replay every missed record; returns the number applied.
@@ -399,6 +662,15 @@ class QueryIndexShard:
         for entry in self._entries.values():
             entry.release_compiled()
         self._entries = {}
+        if self._replica_group is not None:
+            # Clear the shared store in place so the other members' index
+            # references stay valid; each member's subsequent replay from
+            # version 0 reinstalls the same replicate records.
+            self._replica_group.clear()
+        else:
+            for entry in self._replicas.values():
+                entry.release_compiled()
+            self._replicas = {}
         self.applied_version = 0
         self.epoch = 0
         self._make_indexes()
@@ -411,48 +683,99 @@ class QueryIndexShard:
         query: LabeledGraph,
         features: GraphFeatures,
         query_side_cache: dict | None = None,
+        home: bool = True,
+        cover=None,
     ) -> list[int]:
-        """Entry ids of this shard's ``Isub`` hits (local order)."""
-        if self.isub is None or not self._entries:
+        """Entry ids of this shard's ``Isub`` hits (local order).
+
+        ``home`` gates the home-partition lookup (a pruned probe skips it);
+        ``cover`` asks for the replicated entries this shard answers for on
+        this probe — ``True`` for all of them, a sequence of entry ids for
+        a subset, ``None`` for none.
+        """
+        if self.isub is None:
             return []
-        return [
-            entry.entry_id
-            for entry in self.isub.find_supergraphs(query, features, query_side_cache)
-        ]
+        ids: list[int] = []
+        if home and self._entries:
+            ids.extend(
+                entry.entry_id
+                for entry in self.isub.find_supergraphs(query, features, query_side_cache)
+            )
+        if cover is not None and self._replicas:
+            ids.extend(
+                entry.entry_id
+                for entry in self.replica_isub.find_supergraphs(
+                    query,
+                    features,
+                    query_side_cache,
+                    restrict_ids=None if cover is True else cover,
+                )
+            )
+        return ids
 
     def find_subgraph_ids(
         self,
         query: LabeledGraph,
         features: GraphFeatures,
         query_side_cache: dict | None = None,
+        home: bool = True,
+        cover=None,
     ) -> list[int]:
-        """Entry ids of this shard's ``Isuper`` hits (local order)."""
-        if self.isuper is None or not self._entries:
+        """Entry ids of this shard's ``Isuper`` hits (local order).
+
+        ``home`` and ``cover`` behave as in :meth:`find_supergraph_ids`.
+        """
+        if self.isuper is None:
             return []
-        return [
-            entry.entry_id
-            for entry in self.isuper.find_subgraphs(query, features, query_side_cache)
-        ]
+        ids: list[int] = []
+        if home and self._entries:
+            ids.extend(
+                entry.entry_id
+                for entry in self.isuper.find_subgraphs(query, features, query_side_cache)
+            )
+        if cover is not None and self._replicas:
+            ids.extend(
+                entry.entry_id
+                for entry in self.replica_isuper.find_subgraphs(
+                    query,
+                    features,
+                    query_side_cache,
+                    restrict_ids=None if cover is True else cover,
+                )
+            )
+        return ids
 
     def entry_ids(self) -> list[int]:
-        """Ids of the entries this replica currently serves."""
+        """Ids of the home-partition entries this replica currently serves."""
         return sorted(self._entries)
 
+    def replica_ids(self) -> list[int]:
+        """Ids of the replicated (hot) entries this shard holds."""
+        return sorted(self._replicas)
+
     def estimated_size_bytes(self) -> int:
-        """Approximate index-structure size of this shard (Figure 18)."""
+        """Approximate index-structure size of this shard (Figure 18).
+
+        Shared (group) replica indexes are counted by their owning member
+        only, so a runtime-wide sum sees each byte once.
+        """
+        indexes = [self.isub, self.isuper]
+        group = self._replica_group
+        if group is None or group.owner == self.shard_id:
+            indexes += [self.replica_isub, self.replica_isuper]
         total = 0
-        if self.isub is not None:
-            total += self.isub.estimated_size_bytes()
-        if self.isuper is not None:
-            total += self.isuper.estimated_size_bytes()
+        for index in indexes:
+            if index is not None:
+                total += index.estimated_size_bytes()
         return total
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._entries) + len(self._replicas)
 
     def __repr__(self) -> str:
         return (
             f"<QueryIndexShard id={self.shard_id} entries={len(self._entries)} "
+            f"replicas={len(self._replicas)} "
             f"version={self.applied_version} epoch={self.epoch}>"
         )
 
@@ -491,13 +814,20 @@ def _shard_probe(
     features: GraphFeatures,
     want_sub: bool,
     want_super: bool,
+    home_sub: bool = True,
+    home_super: bool = True,
+    cover_sub=None,
+    cover_super=None,
 ) -> tuple[list[int], list[int], int, int, list[float], int]:
     """Worker entry point: catch up on the log tail, then probe.
 
-    Returns the two hit-id lists plus the verifier-stat deltas of the probe
-    (positives, negatives, per-test samples — folded back by the parent so
-    the §4 containment-test accounting stays byte-identical to the inline
-    path) and the replica's applied version.
+    ``home_*`` / ``cover_*`` carry the parent's probe directive (pruning
+    flags and replica assignment; see :meth:`QueryIndexShard` probes) — the
+    defaults reproduce the unpruned full probe.  Returns the two hit-id
+    lists plus the verifier-stat deltas of the probe (positives, negatives,
+    per-test samples — folded back by the parent so the §4 containment-test
+    accounting stays byte-identical to the inline path) and the replica's
+    applied version.
     """
     shard = _WORKER_SHARD
     if reset:
@@ -507,8 +837,16 @@ def _shard_probe(
     stats = shard.verifier.stats
     positives, negatives = stats.positives, stats.negatives
     samples_before = len(stats.per_test_seconds)
-    sub_ids = shard.find_supergraph_ids(query, features) if want_sub else []
-    super_ids = shard.find_subgraph_ids(query, features) if want_super else []
+    sub_ids = (
+        shard.find_supergraph_ids(query, features, home=home_sub, cover=cover_sub)
+        if want_sub and (home_sub or cover_sub is not None)
+        else []
+    )
+    super_ids = (
+        shard.find_subgraph_ids(query, features, home=home_super, cover=cover_super)
+        if want_super and (home_super or cover_super is not None)
+        else []
+    )
     samples = stats.per_test_seconds[samples_before:]
     del stats.per_test_seconds[samples_before:]
     return (
@@ -521,13 +859,56 @@ def _shard_probe(
     )
 
 
+class _PoolLoadTracker:
+    """In-flight task counts per shard pool, shared by probes and chunks.
+
+    ``acquire()`` picks the least-loaded pool (ties broken by a rotating
+    cursor so equal-load pools still alternate); ``acquire(index)`` records
+    a task routed by affinity (a shard probe must run on its own shard's
+    pool).  Counts are decremented from future done-callbacks, so the lock
+    only guards the counter array.
+    """
+
+    def __init__(self, size: int) -> None:
+        self._counts = [0] * size
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def acquire(self, index: int | None = None) -> int:
+        with self._lock:
+            size = len(self._counts)
+            if index is None:
+                best_count = None
+                index = self._next
+                for offset in range(size):
+                    candidate = (self._next + offset) % size
+                    count = self._counts[candidate]
+                    if best_count is None or count < best_count:
+                        best_count = count
+                        index = candidate
+                self._next = (index + 1) % size
+            self._counts[index] += 1
+            return index
+
+    def release(self, index: int) -> None:
+        with self._lock:
+            self._counts[index] -= 1
+
+    def snapshot(self) -> list[int]:
+        """Current in-flight counts (service introspection)."""
+        with self._lock:
+            return list(self._counts)
+
+
 class ShardVerifyPool:
     """Executor facade spreading verification chunks over the shard pools.
 
-    The batch executor talks to one object with ``submit``; routing is a
-    deterministic round-robin over the per-shard single-worker pools, whose
-    processes already hold the method snapshot.  Lifetime belongs to the
-    engine's runtime, so ``shutdown`` is a no-op.
+    The batch executor talks to one object with ``submit``; routing prefers
+    the least-loaded per-shard single-worker pool (shard probes in flight
+    count toward a pool's load, since they share its one worker), falling
+    back to round-robin order among equally loaded pools.  The processes
+    already hold the method snapshot.  Lifetime belongs to the engine's
+    runtime, so ``shutdown`` is a no-op.
 
     Trade-off: probes and verification chunks share the same single-worker
     queues, so with ``pipeline=True`` the speculative probe of query *i+1*
@@ -538,18 +919,92 @@ class ShardVerifyPool:
     (``shard_backend="inline"`` plus a process-backed executor).
     """
 
-    def __init__(self, pools: list[ProcessPoolExecutor]) -> None:
+    def __init__(
+        self, pools: list[ProcessPoolExecutor], tracker: _PoolLoadTracker | None = None
+    ) -> None:
         self._pools = pools
-        self._next = 0
+        self._tracker = tracker if tracker is not None else _PoolLoadTracker(len(pools))
 
     def submit(self, fn, /, *args, **kwargs):
-        """Schedule ``fn`` on the next shard pool (round-robin)."""
-        pool = self._pools[self._next]
-        self._next = (self._next + 1) % len(self._pools)
-        return pool.submit(fn, *args, **kwargs)
+        """Schedule ``fn`` on the least-loaded shard pool."""
+        index = self._tracker.acquire()
+        future = self._pools[index].submit(fn, *args, **kwargs)
+        future.add_done_callback(lambda _, i=index: self._tracker.release(i))
+        return future
 
     def shutdown(self, wait: bool = True) -> None:
         """No-op: the owning :class:`ShardedIGQ` closes the real pools."""
+
+
+class _PartitionSummary:
+    """Parent-side prune summary of one shard's home partition.
+
+    Rows are ``(entry_id, feature_mask, num_vertices, num_edges)`` per live
+    entry.  The two ``may_contain_*`` tests apply *necessary* conditions for
+    an entry to survive the shard's own candidate filtering plus the
+    uncounted size pre-checks — feature-mask dominance is implied by the
+    trie filters' occurrence-count dominance, and the size bounds mirror
+    :meth:`ContainmentIndex._verified_hits`'s ``continue`` guards — so a
+    shard pruned on their say-so would have produced zero hits *and* zero
+    counted containment tests: skipping it cannot perturb the byte-identity
+    invariant.  Rebuilt at flush boundaries (the cache is static between
+    flushes).
+    """
+
+    __slots__ = ("rows", "union_mask", "min_vertices", "min_edges", "max_vertices", "max_edges")
+
+    def __init__(self, rows) -> None:
+        self.rows = tuple(rows)
+        union = 0
+        min_v = min_e = max_v = max_e = 0
+        for index, (_, mask, vertices, edges) in enumerate(self.rows):
+            union |= mask
+            if index == 0:
+                min_v = max_v = vertices
+                min_e = max_e = edges
+            else:
+                min_v = min(min_v, vertices)
+                max_v = max(max_v, vertices)
+                min_e = min(min_e, edges)
+                max_e = max(max_e, edges)
+        self.union_mask = union
+        self.min_vertices, self.max_vertices = min_v, max_v
+        self.min_edges, self.max_edges = min_e, max_e
+
+    def may_contain_super(self, query_mask: int, vertices: int, edges: int) -> bool:
+        """Could some entry be a supergraph of the query (Isub side)?"""
+        if not self.rows:
+            return False
+        if query_mask & ~self.union_mask:
+            return False
+        if self.max_vertices < vertices or self.max_edges < edges:
+            return False
+        for _, mask, entry_vertices, entry_edges in self.rows:
+            if (
+                not query_mask & ~mask
+                and entry_vertices >= vertices
+                and entry_edges >= edges
+            ):
+                return True
+        return False
+
+    def may_contain_sub(self, query_mask: int, vertices: int, edges: int) -> bool:
+        """Could some entry be a subgraph of the query (Isuper side)?"""
+        if not self.rows:
+            return False
+        if self.min_vertices > vertices or self.min_edges > edges:
+            return False
+        for _, mask, entry_vertices, entry_edges in self.rows:
+            if (
+                not mask & ~query_mask
+                and entry_vertices <= vertices
+                and entry_edges <= edges
+            ):
+                return True
+        return False
+
+
+_EMPTY_SUMMARY = _PartitionSummary(())
 
 
 class _InlineShardRuntime:
@@ -564,6 +1019,15 @@ class _InlineShardRuntime:
     uses_processes = False
 
     def __init__(self, engine: "ShardedIGQ") -> None:
+        # Co-resident shards share one physical replica store: a replicate
+        # record installs (and an evict removes) one trie posting set, not
+        # ``num_shards`` of them.
+        group = ReplicaGroup(
+            engine.igq_verifier,
+            compiled=engine.igq_compiled,
+            enable_isub=engine.probe_isub,
+            enable_isuper=engine.probe_isuper,
+        )
         self.shards = [
             QueryIndexShard(
                 shard_id,
@@ -571,6 +1035,7 @@ class _InlineShardRuntime:
                 compiled=engine.igq_compiled,
                 enable_isub=engine.probe_isub,
                 enable_isuper=engine.probe_isuper,
+                replica_group=group,
             )
             for shard_id in range(engine.num_shards)
         ]
@@ -581,6 +1046,7 @@ class _InlineShardRuntime:
         features: GraphFeatures,
         want_sub: bool,
         want_super: bool,
+        directives=None,
     ) -> tuple[list[int], list[int]]:
         sub_ids: list[int] = []
         super_ids: list[int] = []
@@ -591,10 +1057,26 @@ class _InlineShardRuntime:
         sub_side: dict = {}
         super_side: dict = {}
         for shard in self.shards:
-            if want_sub:
-                sub_ids.extend(shard.find_supergraph_ids(query, features, sub_side))
-            if want_super:
-                super_ids.extend(shard.find_subgraph_ids(query, features, super_side))
+            if directives is None:
+                home_sub = home_super = True
+                cover_sub = cover_super = None
+            else:
+                directive = directives[shard.shard_id]
+                if directive is None:
+                    continue
+                home_sub, home_super, cover_sub, cover_super = directive
+            if want_sub and (home_sub or cover_sub is not None):
+                sub_ids.extend(
+                    shard.find_supergraph_ids(
+                        query, features, sub_side, home=home_sub, cover=cover_sub
+                    )
+                )
+            if want_super and (home_super or cover_super is not None):
+                super_ids.extend(
+                    shard.find_subgraph_ids(
+                        query, features, super_side, home=home_super, cover=cover_super
+                    )
+                )
         return sub_ids, super_ids
 
     def sync(self, log: DeltaLog) -> None:
@@ -633,6 +1115,9 @@ class _ProcessShardRuntime:
         self._shipped = [0] * engine.num_shards
         self._needs_reset = [False] * engine.num_shards
         self._acquired_mode: str | None = None
+        #: in-flight counts shared with the batch executor's verify pool, so
+        #: chunk routing sees probe load and vice versa
+        self._tracker = _PoolLoadTracker(engine.num_shards)
 
     # ------------------------------------------------------------------
     def _ensure_pools(self) -> list[ProcessPoolExecutor]:
@@ -681,6 +1166,7 @@ class _ProcessShardRuntime:
         features: GraphFeatures,
         want_sub: bool,
         want_super: bool,
+        directives=None,
     ) -> tuple[list[int], list[int]]:
         pools = self._ensure_pools()
         log = self._engine.delta_log
@@ -692,13 +1178,42 @@ class _ProcessShardRuntime:
             except DeltaLogTruncated:
                 reset = True
                 deltas = log.since(0, shard=shard_id)
+            if directives is None:
+                home_sub = home_super = True
+                cover_sub = cover_super = None
+            else:
+                directive = directives[shard_id]
+                if directive is None:
+                    if not deltas and not reset:
+                        # Pruned and current: skip the round-trip entirely.
+                        continue
+                    # Pruned but lagging: ship the log tail with a no-op
+                    # probe so the replica stays current (and the log can
+                    # keep compacting past its position).
+                    home_sub = home_super = False
+                    cover_sub = cover_super = None
+                else:
+                    home_sub, home_super, cover_sub, cover_super = directive
             self._shipped[shard_id] = log.version
             self._needs_reset[shard_id] = False
-            futures.append(
-                pool.submit(
-                    _shard_probe, deltas, reset, query, features, want_sub, want_super
-                )
+            self._tracker.acquire(shard_id)
+            future = pool.submit(
+                _shard_probe,
+                deltas,
+                reset,
+                query,
+                features,
+                want_sub,
+                want_super,
+                home_sub,
+                home_super,
+                cover_sub,
+                cover_super,
             )
+            future.add_done_callback(
+                lambda _, i=shard_id: self._tracker.release(i)
+            )
+            futures.append(future)
         sub_ids: list[int] = []
         super_ids: list[int] = []
         stats = self._engine.igq_verifier.stats
@@ -729,7 +1244,11 @@ class _ProcessShardRuntime:
         return min(self._shipped)
 
     def verify_pool(self) -> ShardVerifyPool | None:
-        return ShardVerifyPool(self._ensure_pools())
+        return ShardVerifyPool(self._ensure_pools(), self._tracker)
+
+    def pool_loads(self) -> list[int]:
+        """In-flight tasks per shard pool (probes plus verify chunks)."""
+        return self._tracker.snapshot()
 
     def estimated_size_bytes(self) -> int:
         """Replica tries live in the workers; report only parent-side state."""
@@ -773,6 +1292,31 @@ class ShardedIGQ(IGQ):
         ``None`` disables automatic compaction — the log (and the evicted
         entries' payloads it retains) then grows with the stream, so only
         use it when something else calls :meth:`DeltaLog.compact`.
+    ``shard.hot_threshold``:
+        Hot-key replication: an entry whose probe-hit count crosses this
+        threshold is replicated (a ``replicate`` delta record carrying the
+        already-compiled payload) at the next flush boundary, after which
+        any shard can answer for it.  Enabling it also turns on probe-side
+        pruning: per-shard feature-bitmask summaries let the fan-out skip
+        shards whose partition cannot contain a hit for the query, which is
+        where the skewed-traffic speedup comes from on a single CPU.
+        ``None`` (the default) reproduces the plain sharded engine
+        byte-for-byte, delta stream included.
+    ``shard.rebalance_interval``:
+        Adaptive rebalancing: every this-many window flushes the engine
+        compares per-shard hit-weighted loads and emits ``move`` delta
+        records shifting entries from the hottest to the coldest shard
+        (replicated entries are never moved).  ``None`` disables it.
+    ``shard.replication_factor``:
+        Number of shards (including the home shard) that hold a hot
+        entry's replica.  ``None`` (the default) replicates to every
+        shard.
+
+    Hot-key replication, rebalancing and pruning only redistribute *which
+    shard* runs each containment test — never whether it runs: pruning is
+    keyed on the same feature-dominance and size conditions the trie filter
+    and (uncounted) pre-checks apply, so the counted-test accounting,
+    answers and cache state stay byte-identical to ``shards=1``.
 
     The historical flat kwargs (``shards=``, ``shard_backend=``,
     ``compact_threshold=``, plus :class:`IGQ`'s) remain as deprecation
@@ -840,6 +1384,9 @@ class ShardedIGQ(IGQ):
         )
         self.num_shards = config.shard.shards
         self.compact_threshold = config.shard.compact_threshold
+        self.hot_threshold = config.shard.hot_threshold
+        self.rebalance_interval = config.shard.rebalance_interval
+        self.replication_factor = config.shard.replication_factor
         shard_backend = config.shard.backend
         #: which components the shard replicas serve (captured before the
         #: in-process indexes are handed over to the shards)
@@ -848,6 +1395,42 @@ class ShardedIGQ(IGQ):
         self.delta_log: DeltaLog | None = None
         self.shard_runtime = None
         self._entry_shard: dict[int, int] = {}
+        #: id(graph) -> (graph, shard) routing memo (see :meth:`shard_of`)
+        self._shard_memo: dict[int, tuple[LabeledGraph, int]] = {}
+        # ---- hot-key replication / rebalancing state (§ROADMAP skew item).
+        # Initialised unconditionally so shard_stats()/reset_stats() work on
+        # every configuration; the _hot/_rebalancing gates keep the default
+        # configuration's behaviour (and delta stream) bit-for-bit intact.
+        self._hot = self.num_shards > 1 and self.hot_threshold is not None
+        self._rebalancing = (
+            self.num_shards > 1 and self.rebalance_interval is not None
+        )
+        self._track_hits = self._hot or self._rebalancing
+        #: probe-hit count per live entry (drives replication + rebalancing)
+        self._probe_hits: dict[int, int] = {}
+        #: entries that crossed hot_threshold since the last flush
+        self._pending_hot: set[int] = set()
+        #: replicated entry -> holder shards (None = every shard)
+        self._replica_targets: dict[int, tuple[int, ...] | None] = {}
+        #: ``id(graph) -> graph`` for graphs whose entries earned
+        #: replication — their churn replacements are born hot (replicated
+        #: on insert, skipping the home install/retire round-trip)
+        self._hot_graphs: dict[int, LabeledGraph] = {}
+        #: probes served per shard (directive granted), drives cover routing
+        self._shard_probe_load = [0] * self.num_shards
+        self._moves_applied = 0
+        self._replicas_created = 0
+        self._records_folded = 0
+        self._flush_count = 0
+        #: grow-only feature-key -> bit registry for the prune bitmasks;
+        #: only entry-side keys get bits, so a query key missing here means
+        #: no cached entry has that feature at all
+        self._feature_bits: dict = {}
+        self._entry_masks: dict[int, int] = {}
+        self._home_summaries: list[_PartitionSummary] = [
+            _EMPTY_SUMMARY for _ in range(self.num_shards)
+        ]
+        self._replica_summary: _PartitionSummary = _EMPTY_SUMMARY
         if self.num_shards == 1:
             # A/B baseline: exactly today's single-shard engine.
             self.shard_backend = "inline"
@@ -870,8 +1453,24 @@ class ShardedIGQ(IGQ):
     # Routing
     # ------------------------------------------------------------------
     def shard_of(self, graph: LabeledGraph) -> int:
-        """Owning shard of a query graph (stable canonical-key hash)."""
-        return shard_of_key(canonical_graph_key(graph), self.num_shards)
+        """Owning shard of a query graph (stable canonical-key hash).
+
+        Memoized by object identity: repeat-heavy streams re-insert the
+        same query objects over and over, and the exact canonical form is
+        by far the most expensive step of the sharded flush path.  The memo
+        holds a strong reference to each keyed graph, so an ``id`` can
+        never be recycled while its entry is live; the bound just caps the
+        pinned memory on unbounded streams of distinct graphs.
+        """
+        memo = self._shard_memo
+        cached = memo.get(id(graph))
+        if cached is not None and cached[0] is graph:
+            return cached[1]
+        shard_id = shard_of_key(canonical_graph_key(graph), self.num_shards)
+        if len(memo) >= 8192:
+            memo.clear()
+        memo[id(graph)] = (graph, shard_id)
+        return shard_id
 
     def entry_shard(self, entry_id: int) -> int:
         """Owning shard of a live cache entry."""
@@ -883,8 +1482,9 @@ class ShardedIGQ(IGQ):
     def _component_hits(self, query, features):
         if self.num_shards == 1:
             return super()._component_hits(query, features)
+        directives = self._probe_directives(query, features) if self._hot else None
         sub_ids, super_ids = self.shard_runtime.probe(
-            query, features, self.probe_isub, self.probe_isuper
+            query, features, self.probe_isub, self.probe_isuper, directives
         )
         # Shards return their hits in local slot order; the single-shard
         # engine reports hits in cache insertion order, which (ids being
@@ -893,7 +1493,120 @@ class ShardedIGQ(IGQ):
         cache = self.cache
         sub_hits = [cache.get(entry_id) for entry_id in sorted(sub_ids)]
         super_hits = [cache.get(entry_id) for entry_id in sorted(super_ids)]
+        if self._track_hits:
+            self._note_hits(sub_hits, super_hits)
         return sub_hits, super_hits
+
+    def _note_hits(self, sub_hits, super_hits) -> None:
+        """Credit probe hits; entries crossing ``hot_threshold`` queue up
+        for replication at the next flush boundary."""
+        hits = self._probe_hits
+        threshold = self.hot_threshold
+        for entry in sub_hits + super_hits:
+            entry_id = entry.entry_id
+            count = hits.get(entry_id, 0) + 1
+            hits[entry_id] = count
+            if (
+                self._hot
+                and count == threshold
+                and entry_id not in self._replica_targets
+            ):
+                self._pending_hot.add(entry_id)
+
+    def _probe_directives(self, query, features):
+        """Per-shard probe plan: pruning flags plus replica cover assignment.
+
+        For every shard a ``(home_sub, home_super, cover_sub, cover_super)``
+        tuple, or ``None`` to skip the shard outright.  Home flags come from
+        the :class:`_PartitionSummary` necessary-condition tests; replicated
+        entries that could match are assigned to exactly one *covering*
+        shard — the least probe-loaded shard when it holds the replica, the
+        entry's home shard otherwise — so every live entry is containment-
+        tested by exactly one shard per probe, same as the unpruned fan-out.
+        """
+        num_vertices = query.num_vertices
+        num_edges = query.num_edges
+        bits = self._feature_bits
+        query_mask = 0
+        unknown = False
+        for key in features.counts:
+            bit = bits.get(key)
+            if bit is None:
+                # No cached entry anywhere has this feature, so nothing can
+                # be a supergraph of the query; no bit is allocated (the
+                # registry tracks entry-side keys only).
+                unknown = True
+            else:
+                query_mask |= bit
+        want_sub = self.probe_isub
+        want_super = self.probe_isuper
+        home_sub_flags = []
+        home_super_flags = []
+        for summary in self._home_summaries:
+            home_sub_flags.append(
+                want_sub
+                and not unknown
+                and summary.may_contain_super(query_mask, num_vertices, num_edges)
+            )
+            home_super_flags.append(
+                want_super
+                and summary.may_contain_sub(query_mask, num_vertices, num_edges)
+            )
+        cover_sub: dict[int, list[int]] = {}
+        cover_super: dict[int, list[int]] = {}
+        replica_rows = self._replica_summary.rows
+        if replica_rows:
+            sub_ids: list[int] = []
+            super_ids: list[int] = []
+            for entry_id, mask, entry_vertices, entry_edges in replica_rows:
+                if (
+                    want_sub
+                    and not unknown
+                    and not query_mask & ~mask
+                    and entry_vertices >= num_vertices
+                    and entry_edges >= num_edges
+                ):
+                    sub_ids.append(entry_id)
+                if (
+                    want_super
+                    and not mask & ~query_mask
+                    and entry_vertices <= num_vertices
+                    and entry_edges <= num_edges
+                ):
+                    super_ids.append(entry_id)
+            if sub_ids or super_ids:
+                loads = self._shard_probe_load
+                designee = min(range(self.num_shards), key=lambda s: (loads[s], s))
+                for ids, cover in ((sub_ids, cover_sub), (super_ids, cover_super)):
+                    for entry_id in ids:
+                        targets = self._replica_targets.get(entry_id)
+                        shard_id = (
+                            designee
+                            if targets is None or designee in targets
+                            else self._entry_shard[entry_id]
+                        )
+                        cover.setdefault(shard_id, []).append(entry_id)
+        directives = []
+        for shard_id in range(self.num_shards):
+            home_sub = home_sub_flags[shard_id]
+            home_super = home_super_flags[shard_id]
+            ids = cover_sub.get(shard_id)
+            shard_cover_sub = tuple(ids) if ids is not None else None
+            ids = cover_super.get(shard_id)
+            shard_cover_super = tuple(ids) if ids is not None else None
+            if (
+                home_sub
+                or home_super
+                or shard_cover_sub is not None
+                or shard_cover_super is not None
+            ):
+                directives.append(
+                    (home_sub, home_super, shard_cover_sub, shard_cover_super)
+                )
+                self._shard_probe_load[shard_id] += 1
+            else:
+                directives.append(None)
+        return directives
 
     # ------------------------------------------------------------------
     # Delta-emitting window flush (§5.2, replacing the shadow rebuild)
@@ -909,8 +1622,26 @@ class ShardedIGQ(IGQ):
         log = self.delta_log
         victims = self.maintenance.select_evictions(self.cache, len(window))
         for entry_id in victims:
+            if entry_id in self._replica_targets:
+                # A replicated entry evicted while barely probed means the
+                # traffic moved on — demote its graph so a later re-insert
+                # starts cold (home-partitioned) again.
+                if self._hot and self._probe_hits.get(entry_id, 0) < self.hot_threshold:
+                    graph = self.cache.get(entry_id).graph
+                    self._hot_graphs.pop(id(graph), None)
             self.cache.remove(entry_id)  # releases the parent-side payloads
-            log.append_evict(self._entry_shard.pop(entry_id), entry_id)
+            home_shard = self._entry_shard.pop(entry_id)
+            if entry_id in self._replica_targets:
+                # Replicated entries live on several shards (and a reset
+                # subscriber may hold none of them), so the evict is a
+                # targeted broadcast applied leniently.
+                targets = self._replica_targets.pop(entry_id)
+                log.append_evict(BROADCAST, entry_id, targets=targets)
+            else:
+                log.append_evict(home_shard, entry_id)
+            self._probe_hits.pop(entry_id, None)
+            self._pending_hot.discard(entry_id)
+            self._entry_masks.pop(entry_id, None)
         report.evicted = len(victims)
         report.evicted_entry_ids = victims
         for pending in window:
@@ -919,14 +1650,131 @@ class ShardedIGQ(IGQ):
             )
             shard_id = self.shard_of(pending.graph)
             self._entry_shard[entry.entry_id] = shard_id
-            log.append_insert(shard_id, self._make_shard_entry(entry))
+            if self._hot and self._hot_graphs.get(id(pending.graph)) is pending.graph:
+                # Born hot: this graph's previous entry was replicated, so
+                # the churn replacement goes straight to the replica stores
+                # — no home install that the next flush would retire again.
+                # (Replication choices never change answers or accounting,
+                # so this is free to be a heuristic.)
+                targets = self._replication_targets_for(entry.entry_id)
+                log.append_replicate(self._make_shard_entry(entry), targets=targets)
+                self._replica_targets[entry.entry_id] = targets
+                self._replicas_created += 1
+            else:
+                log.append_insert(shard_id, self._make_shard_entry(entry))
             report.inserted += 1
+        if self._hot and self._pending_hot:
+            for entry_id in sorted(self._pending_hot):
+                entry = self.cache.get(entry_id)
+                targets = self._replication_targets_for(entry_id)
+                log.append_replicate(self._make_shard_entry(entry), targets=targets)
+                self._replica_targets[entry_id] = targets
+                self._replicas_created += 1
+                if len(self._hot_graphs) >= 8192:
+                    self._hot_graphs.clear()
+                self._hot_graphs[id(entry.graph)] = entry.graph
+            self._pending_hot.clear()
+        self._flush_count += 1
+        if self._rebalancing and self._flush_count % self.rebalance_interval == 0:
+            self._moves_applied += self._rebalance(log)
         log.append_flush()
         self.shard_runtime.sync(log)
         if self.compact_threshold is not None and len(log) > self.compact_threshold:
-            log.compact(self.shard_runtime.progress())
+            self._records_folded += log.compact(self.shard_runtime.progress())
+        if self._hot:
+            self._rebuild_prune_state()
         report.cache_size_after = len(self.cache)
         return report
+
+    def _replication_targets_for(self, entry_id: int) -> tuple[int, ...] | None:
+        """Holder shards for a newly hot entry (None = every shard)."""
+        factor = self.replication_factor
+        if factor is None:
+            return None
+        home_shard = self._entry_shard[entry_id]
+        return tuple(
+            sorted((home_shard + offset) % self.num_shards for offset in range(factor))
+        )
+
+    def _rebalance(self, log: DeltaLog) -> int:
+        """Shift entries from the hottest shard to the coldest (§ROADMAP).
+
+        Loads are hit-weighted entry counts (``1 + probe hits``, so cold
+        entries still count for placement).  Each step moves the lightest
+        entry off the hottest shard, but only while that strictly narrows
+        the hot/cold gap; replicated entries are never moved (every shard
+        already holds them).  Emits one ``move`` record per relocation —
+        applied by the shards at this flush boundary like any other delta —
+        and is capped at one window's worth of moves per rebalance so a
+        pathological skew cannot stall the flush.
+        """
+        weights: list[dict[int, int]] = [{} for _ in range(self.num_shards)]
+        for entry_id, shard_id in self._entry_shard.items():
+            if entry_id in self._replica_targets:
+                continue
+            weights[shard_id][entry_id] = 1 + self._probe_hits.get(entry_id, 0)
+        loads = [sum(shard_weights.values()) for shard_weights in weights]
+        moves = 0
+        max_moves = self.maintenance.window_size
+        while moves < max_moves:
+            hottest = max(range(self.num_shards), key=lambda s: (loads[s], -s))
+            coldest = min(range(self.num_shards), key=lambda s: (loads[s], s))
+            gap = loads[hottest] - loads[coldest]
+            if gap <= 0 or not weights[hottest]:
+                break
+            entry_id, weight = min(
+                weights[hottest].items(), key=lambda item: (item[1], item[0])
+            )
+            if weight >= gap:
+                break
+            log.append_move(
+                self._make_shard_entry(self.cache.get(entry_id)),
+                src_shard=hottest,
+                dst_shard=coldest,
+            )
+            del weights[hottest][entry_id]
+            weights[coldest][entry_id] = weight
+            loads[hottest] -= weight
+            loads[coldest] += weight
+            self._entry_shard[entry_id] = coldest
+            moves += 1
+        return moves
+
+    def _entry_mask_of(self, entry: CacheEntry) -> int:
+        """Feature bitmask of a live entry (memoized; allocates new bits)."""
+        mask = self._entry_masks.get(entry.entry_id)
+        if mask is None:
+            bits = self._feature_bits
+            mask = 0
+            for key in entry.features.counts:
+                bit = bits.get(key)
+                if bit is None:
+                    bit = 1 << len(bits)
+                    bits[key] = bit
+                mask |= bit
+            self._entry_masks[entry.entry_id] = mask
+        return mask
+
+    def _rebuild_prune_state(self) -> None:
+        """Recompute the per-shard prune summaries after a flush."""
+        per_shard: list[list[tuple[int, int, int, int]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        replica_rows: list[tuple[int, int, int, int]] = []
+        for entry_id in sorted(self._entry_shard):
+            entry = self.cache.get(entry_id)
+            row = (
+                entry_id,
+                self._entry_mask_of(entry),
+                entry.graph.num_vertices,
+                entry.graph.num_edges,
+            )
+            if entry_id in self._replica_targets:
+                replica_rows.append(row)
+            else:
+                per_shard[self._entry_shard[entry_id]].append(row)
+        self._home_summaries = [_PartitionSummary(rows) for rows in per_shard]
+        self._replica_summary = _PartitionSummary(replica_rows)
 
     def _make_shard_entry(self, entry: CacheEntry) -> ShardEntry:
         """Build the replica payload, compiling each direction exactly once.
@@ -976,6 +1824,53 @@ class ShardedIGQ(IGQ):
             for shard_id in self._entry_shard.values():
                 counts[shard_id] += 1
         return counts
+
+    def replica_counts(self) -> list[int]:
+        """Replicated entries held per shard (home copies excluded).
+
+        A fully replicated entry (``replication_factor=None``) counts once
+        on every shard; a factor-``r`` entry once on each of its ``r``
+        holders.  ``shard_balance`` keeps attributing the entry to its
+        nominal home shard, so the two views are complementary.
+        """
+        counts = [0] * self.num_shards
+        for targets in self._replica_targets.values():
+            holders = range(self.num_shards) if targets is None else targets
+            for shard_id in holders:
+                counts[shard_id] += 1
+        return counts
+
+    def shard_stats(self) -> dict:
+        """Hot-key/rebalance and delta-log health snapshot (service layer)."""
+        log = self.delta_log
+        return {
+            "probe_load": list(self._shard_probe_load),
+            "replica_counts": self.replica_counts(),
+            "replicas_live": len(self._replica_targets),
+            "replicas_created": self._replicas_created,
+            "moves_applied": self._moves_applied,
+            "delta_log": {
+                "length": len(log) if log is not None else 0,
+                "version": log.version if log is not None else 0,
+                "floor_version": log.floor_version if log is not None else 0,
+                "records_folded": self._records_folded,
+            },
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the probe-hit counters and per-shard load statistics.
+
+        Replicas stay replicated and moved entries stay put — this resets
+        the *inputs* to future replication/rebalancing decisions (e.g. at a
+        workload phase change), not the placement they already produced.
+        Pending not-yet-flushed hot entries are requeued from scratch too.
+        """
+        self._probe_hits.clear()
+        self._pending_hot.clear()
+        self._shard_probe_load = [0] * self.num_shards
+        self._moves_applied = 0
+        self._replicas_created = 0
+        self._records_folded = 0
 
     def close(self) -> None:
         """Shut down the shard runtime (worker pools); idempotent.

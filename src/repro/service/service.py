@@ -40,7 +40,7 @@ import threading
 from collections import deque
 from collections.abc import Iterable, Iterator
 from concurrent.futures import Future
-from dataclasses import dataclass, replace as dataclass_replace
+from dataclasses import dataclass, field, replace as dataclass_replace
 
 from ..core.batch import DRAIN, BatchExecutor
 from ..core.config import (
@@ -166,6 +166,14 @@ class ServiceReport:
     sequential_verifications: int
     pipelined_plans: int
     pipeline_replans: int
+    #: hot-key replication / rebalancing state (zeros on 1-shard engines)
+    shard_probe_load: list[int] = field(default_factory=list)
+    replica_counts: list[int] = field(default_factory=list)
+    replicas_live: int = 0
+    moves_applied: int = 0
+    #: delta-log health: length, version, last-compaction floor, records
+    #: folded away by compaction so far
+    delta_log: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """JSON-serialisable form (dashboards, experiment archives)."""
@@ -183,7 +191,12 @@ class ServiceReport:
                 "count": self.shards,
                 "backend": self.shard_backend,
                 "balance": self.shard_balance,
+                "probe_load": self.shard_probe_load,
+                "replica_counts": self.replica_counts,
+                "replicas_live": self.replicas_live,
+                "moves_applied": self.moves_applied,
             },
+            "delta_log": dict(self.delta_log),
             "executor": {
                 "feature_memo_hits": self.feature_memo_hits,
                 "feature_memo_misses": self.feature_memo_misses,
@@ -509,6 +522,9 @@ class GraphQueryService:
             else [len(engine.cache)]
         )
         executor_stats = self._executor.stats if self._executor is not None else None
+        shard_stats = (
+            engine.shard_stats() if hasattr(engine, "shard_stats") else None
+        )
         with self._stats_lock:
             totals = dataclass_replace(self.totals)
             sessions = {
@@ -534,7 +550,32 @@ class GraphQueryService:
             ),
             pipelined_plans=executor_stats.pipelined_plans if executor_stats else 0,
             pipeline_replans=executor_stats.pipeline_replans if executor_stats else 0,
+            shard_probe_load=(
+                shard_stats["probe_load"] if shard_stats else [0] * len(shard_balance)
+            ),
+            replica_counts=(
+                shard_stats["replica_counts"]
+                if shard_stats
+                else [0] * len(shard_balance)
+            ),
+            replicas_live=shard_stats["replicas_live"] if shard_stats else 0,
+            moves_applied=shard_stats["moves_applied"] if shard_stats else 0,
+            delta_log=(
+                shard_stats["delta_log"]
+                if shard_stats
+                else {"length": 0, "version": 0, "floor_version": 0, "records_folded": 0}
+            ),
         )
+
+    def reset_engine_stats(self) -> None:
+        """Zero the engine's hot-key/rebalance counters (if it has any).
+
+        Useful at workload phase changes: replication and placement stay as
+        they are, but future hotness decisions start from a clean slate.
+        Session accounting is untouched — it belongs to the service layer.
+        """
+        if hasattr(self.engine, "reset_stats"):
+            self.engine.reset_stats()
 
     # ------------------------------------------------------------------
     # Driver internals

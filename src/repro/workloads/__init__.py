@@ -1,13 +1,27 @@
 """Query workload generation: popularity samplers and the query generator."""
 
-from .generator import DEFAULT_QUERY_SIZES, QueryGenerator, WorkloadSpec, standard_workloads
-from .zipf import RankSampler, UniformSampler, ZipfSampler, create_sampler
+from .generator import (
+    DEFAULT_QUERY_SIZES,
+    QueryGenerator,
+    WorkloadSpec,
+    drifting_stream,
+    standard_workloads,
+)
+from .zipf import (
+    DriftingZipfSampler,
+    RankSampler,
+    UniformSampler,
+    ZipfSampler,
+    create_sampler,
+)
 
 __all__ = [
     "DEFAULT_QUERY_SIZES",
     "QueryGenerator",
     "WorkloadSpec",
+    "drifting_stream",
     "standard_workloads",
+    "DriftingZipfSampler",
     "RankSampler",
     "UniformSampler",
     "ZipfSampler",

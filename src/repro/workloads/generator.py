@@ -28,7 +28,7 @@ from ..graphs.database import GraphDatabase
 from ..graphs.graph import LabeledGraph
 from .zipf import RankSampler, create_sampler
 
-__all__ = ["WorkloadSpec", "QueryGenerator", "standard_workloads"]
+__all__ = ["WorkloadSpec", "QueryGenerator", "drifting_stream", "standard_workloads"]
 
 #: the paper's query sizes, in edges
 DEFAULT_QUERY_SIZES = (4, 8, 12, 16, 20)
@@ -36,7 +36,17 @@ DEFAULT_QUERY_SIZES = (4, 8, 12, 16, 20)
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Configuration of one query workload."""
+    """Configuration of one query workload.
+
+    The drift fields describe a *time-varying* graph-popularity
+    distribution (``graph_distribution="zipf-drift"``): the Zipf exponent
+    moves from ``alpha`` to ``alpha_end`` over ``drift_steps`` graph draws,
+    and/or the hot set rotates by ``rotate_stride`` ranks every
+    ``rotate_every`` draws — the skewed, non-stationary traffic that
+    exercises hot-key replication and rebalancing.  They are ignored by the
+    static distributions (node sampling always uses the static form, since
+    per-graph node samplers are drawn from far too rarely to drift).
+    """
 
     name: str
     graph_distribution: str = "uniform"
@@ -44,10 +54,14 @@ class WorkloadSpec:
     alpha: float = 1.4
     query_sizes: tuple[int, ...] = DEFAULT_QUERY_SIZES
     seed: int = 7
+    alpha_end: float | None = None
+    drift_steps: int | None = None
+    rotate_every: int | None = None
+    rotate_stride: int = 1
 
     def describe(self) -> dict:
         """JSON-friendly description (used by the experiment reports)."""
-        return {
+        description = {
             "name": self.name,
             "graph_distribution": self.graph_distribution,
             "node_distribution": self.node_distribution,
@@ -55,6 +69,24 @@ class WorkloadSpec:
             "query_sizes": list(self.query_sizes),
             "seed": self.seed,
         }
+        if self.alpha_end is not None:
+            description["alpha_end"] = self.alpha_end
+            description["drift_steps"] = self.drift_steps
+        if self.rotate_every is not None:
+            description["rotate_every"] = self.rotate_every
+            description["rotate_stride"] = self.rotate_stride
+        return description
+
+    def drift_kwargs(self) -> dict:
+        """The :func:`create_sampler` drift arguments this spec carries."""
+        kwargs: dict = {}
+        if self.alpha_end is not None:
+            kwargs["alpha_end"] = self.alpha_end
+            kwargs["drift_steps"] = self.drift_steps
+        if self.rotate_every is not None:
+            kwargs["rotate_every"] = self.rotate_every
+            kwargs["rotate_stride"] = self.rotate_stride
+        return kwargs
 
 
 def standard_workloads(alpha: float = 1.4, seed: int = 7) -> list[WorkloadSpec]:
@@ -77,6 +109,40 @@ def standard_workloads(alpha: float = 1.4, seed: int = 7) -> list[WorkloadSpec]:
     ]
 
 
+def drifting_stream(
+    pool: list[LabeledGraph],
+    length: int,
+    *,
+    alpha: float = 1.4,
+    alpha_end: float | None = None,
+    drift_steps: int | None = None,
+    rotate_every: int | None = None,
+    rotate_stride: int = 1,
+    seed: int = 7,
+) -> list[LabeledGraph]:
+    """Draw a repeat-heavy query stream from ``pool`` under drifting Zipf.
+
+    The standard skew-study construction (generate a pool once, then sample
+    it with a popularity distribution so exact and related repeats occur)
+    with the time-varying sampler: early queries concentrate on one hot
+    set, later queries on another.  ``drift_steps`` defaults to the stream
+    length when an ``alpha_end`` is given.
+    """
+    if alpha_end is not None and drift_steps is None:
+        drift_steps = length
+    sampler = create_sampler(
+        "zipf-drift",
+        len(pool),
+        alpha=alpha,
+        alpha_end=alpha_end,
+        drift_steps=drift_steps,
+        rotate_every=rotate_every,
+        rotate_stride=rotate_stride,
+    )
+    rng = random.Random(seed)
+    return [pool[sampler.sample(rng)] for _ in range(length)]
+
+
 @dataclass
 class QueryGenerator:
     """Generate query graphs from a dataset according to a workload spec."""
@@ -90,8 +156,14 @@ class QueryGenerator:
         if len(self.database) == 0:
             raise ValueError("cannot generate queries from an empty database")
         self._rng = random.Random(self.spec.seed)
+        # The graph sampler is stateful for the drifting kinds: every
+        # generate_one() advances its clock, so a long generate() run sees
+        # the popularity distribution move under it.
         self._graph_sampler = create_sampler(
-            self.spec.graph_distribution, len(self.database), alpha=self.spec.alpha
+            self.spec.graph_distribution,
+            len(self.database),
+            alpha=self.spec.alpha,
+            **self.spec.drift_kwargs(),
         )
         self._graph_ids = self.database.ids()
         self._node_samplers: dict = {}

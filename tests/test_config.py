@@ -111,6 +111,22 @@ class TestRoundTrip:
         restored = EngineConfig.from_dict(json.loads(json.dumps(config.to_dict())))
         assert restored == config
 
+    def test_hot_key_fields_round_trip(self):
+        config = EngineConfig(
+            shard=ShardConfig(
+                shards=4,
+                backend="inline",
+                hot_threshold=3,
+                rebalance_interval=5,
+                replication_factor=2,
+            ),
+        )
+        restored = EngineConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+        assert restored.shard.hot_threshold == 3
+        assert restored.shard.rebalance_interval == 5
+        assert restored.shard.replication_factor == 2
+
     def test_partial_dict_fills_defaults(self):
         config = EngineConfig.from_dict({"cache": {"size": 7, "window": 3}})
         assert config.cache == CacheConfig(size=7, window=3)
@@ -162,6 +178,24 @@ class TestValidation:
     def test_unknown_shard_backend(self):
         with pytest.raises(ConfigError, match=r"shard\.backend='remote'.*one of"):
             ShardConfig(backend="remote")
+
+    def test_zero_hot_threshold(self):
+        with pytest.raises(ConfigError, match=r"shard\.hot_threshold=0"):
+            ShardConfig(shards=2, hot_threshold=0)
+
+    def test_negative_rebalance_interval(self):
+        with pytest.raises(ConfigError, match=r"shard\.rebalance_interval=-1"):
+            ShardConfig(shards=2, rebalance_interval=-1)
+
+    def test_replication_factor_of_one(self):
+        with pytest.raises(ConfigError, match=r"replication_factor=1.*>= 2"):
+            ShardConfig(shards=4, replication_factor=1)
+
+    def test_replication_factor_above_shard_count(self):
+        with pytest.raises(
+            ConfigError, match=r"replication_factor=3 cannot exceed shard\.shards=2"
+        ):
+            ShardConfig(shards=2, replication_factor=3)
 
     def test_unknown_algorithm(self):
         with pytest.raises(ConfigError, match=r"verifier\.algorithm='vf3'"):

@@ -358,6 +358,66 @@ class TestSessionsAndStats:
         assert restored["cache"]["capacity"] == CACHE.size
         assert restored["totals"]["queries"] == len(mixed_stream)
 
+    def test_stats_report_hot_key_and_delta_log_health(self, database, mixed_stream):
+        method = create_method("ggsx", max_path_length=3)
+        config = mixed_config(
+            shard=ShardConfig(
+                shards=3, backend="inline", hot_threshold=1, rebalance_interval=2
+            )
+        )
+        with GraphQueryService(method, config, database=database) as service:
+            list(service.stream(mixed_stream))
+            report = service.stats()
+        assert len(report.shard_probe_load) == 3
+        assert sum(report.shard_probe_load) > 0
+        assert len(report.replica_counts) == 3
+        assert report.replicas_live > 0
+        # Delta-log health: the log advanced and reports its four fields.
+        assert report.delta_log["version"] > 0
+        assert report.delta_log["length"] > 0
+        assert report.delta_log["floor_version"] >= 0
+        assert report.delta_log["records_folded"] >= 0
+        restored = json.loads(json.dumps(report.as_dict()))
+        assert restored["shards"]["replica_counts"] == report.replica_counts
+        assert restored["shards"]["probe_load"] == report.shard_probe_load
+        assert restored["shards"]["replicas_live"] == report.replicas_live
+        assert restored["shards"]["moves_applied"] == report.moves_applied
+        assert restored["delta_log"] == report.delta_log
+
+    def test_single_shard_report_has_zeroed_hot_key_fields(self, database, mixed_stream):
+        method = create_method("ggsx", max_path_length=3)
+        with GraphQueryService(method, mixed_config(), database=database) as service:
+            list(service.stream(mixed_stream[:6]))
+            service.reset_engine_stats()  # no-op on a plain engine
+            report = service.stats()
+        assert report.shard_probe_load == [0]
+        assert report.replica_counts == [0]
+        assert report.replicas_live == 0
+        assert report.delta_log == {
+            "length": 0, "version": 0, "floor_version": 0, "records_folded": 0,
+        }
+
+    def test_reset_engine_stats_keeps_placement(self, database, mixed_stream):
+        method = create_method("ggsx", max_path_length=3)
+        config = mixed_config(
+            shard=ShardConfig(
+                shards=3, backend="inline", hot_threshold=1, rebalance_interval=2
+            )
+        )
+        with GraphQueryService(method, config, database=database) as service:
+            list(service.stream(mixed_stream))
+            before = service.stats()
+            assert before.replicas_live > 0
+            service.reset_engine_stats()
+            after = service.stats()
+        assert after.shard_probe_load == [0, 0, 0]
+        assert after.moves_applied == 0
+        # Replication and placement survive the counter reset.
+        assert after.replicas_live == before.replicas_live
+        assert after.replica_counts == before.replica_counts
+        # Session accounting belongs to the service layer and is untouched.
+        assert after.totals.queries == before.totals.queries
+
     def test_service_rejects_wrong_mode(self, database):
         method = create_method("ggsx", max_path_length=3)
         with GraphQueryService(method, EngineConfig(cache=CACHE), database=database) as service:

@@ -10,11 +10,13 @@ import pytest
 from repro.graphs import is_connected
 from repro.workloads import (
     DEFAULT_QUERY_SIZES,
+    DriftingZipfSampler,
     QueryGenerator,
     UniformSampler,
     WorkloadSpec,
     ZipfSampler,
     create_sampler,
+    drifting_stream,
     standard_workloads,
 )
 
@@ -67,6 +69,104 @@ class TestSamplers:
         assert isinstance(create_sampler("zipf", 3, alpha=2.0), ZipfSampler)
         with pytest.raises(ValueError):
             create_sampler("gaussian", 3)
+
+
+class TestDriftingZipf:
+    def test_alpha_drift_sharpens_the_distribution(self):
+        sampler = DriftingZipfSampler(50, alpha=1.1, alpha_end=2.4, drift_steps=100)
+        p_start = sampler.probability(0)
+        rng = random.Random(3)
+        for _ in range(100):
+            sampler.sample(rng)
+        # After the drift window the exponent sits at alpha_end, so the top
+        # rank concentrates more mass than it did at the start.
+        assert sampler.probability(0) > p_start
+
+    def test_rotation_moves_the_hot_set(self):
+        sampler = DriftingZipfSampler(20, alpha=2.0, rotate_every=10, rotate_stride=3)
+        assert sampler.probability(0) > sampler.probability(3)
+        rng = random.Random(4)
+        for _ in range(10):
+            sampler.sample(rng)
+        # One rotation later the most popular identity is rank 3; the
+        # popularity *shape* is still the same Zipf.
+        assert sampler.probability(3) > sampler.probability(0)
+        assert sampler.probability(3) == pytest.approx(
+            ZipfSampler(20, alpha=2.0).probability(0)
+        )
+
+    def test_no_drift_arguments_means_static_zipf(self):
+        drifting = DriftingZipfSampler(30, alpha=1.4)
+        static = ZipfSampler(30, alpha=1.4)
+        rng_a, rng_b = random.Random(11), random.Random(11)
+        draws = [drifting.sample(rng_a) for _ in range(50)]
+        reference = [static.sample(rng_b) for _ in range(50)]
+        assert draws == reference
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="drift_steps"):
+            DriftingZipfSampler(10, alpha_end=2.0)
+        with pytest.raises(ValueError, match="drift_steps"):
+            DriftingZipfSampler(10, alpha_end=2.0, drift_steps=0)
+        with pytest.raises(ValueError, match="rotate_every"):
+            DriftingZipfSampler(10, rotate_every=0)
+        with pytest.raises(ValueError, match="resolution"):
+            DriftingZipfSampler(10, resolution=0)
+
+    def test_create_sampler_drift_kinds(self):
+        for kind in ("zipf-drift", "drifting-zipf"):
+            sampler = create_sampler(
+                kind, 10, alpha=1.2, alpha_end=2.0, drift_steps=64, rotate_every=8
+            )
+            assert isinstance(sampler, DriftingZipfSampler)
+            assert sampler.alpha_end == 2.0
+        with pytest.raises(ValueError, match="drift"):
+            create_sampler("zipf", 10, rotate_every=8)
+        with pytest.raises(ValueError, match="drift"):
+            create_sampler("uniform", 10, alpha_end=2.0)
+
+    def test_drifting_stream_rotates_the_popular_items(self):
+        pool = [make_path_graph("AB") for _ in range(20)]
+        stream = drifting_stream(
+            pool, 400, alpha=2.0, rotate_every=100, rotate_stride=10, seed=13
+        )
+        assert len(stream) == 400
+        assert all(graph in pool for graph in stream)
+        # Deterministic for a given seed.
+        again = drifting_stream(
+            pool, 400, alpha=2.0, rotate_every=100, rotate_stride=10, seed=13
+        )
+        assert [id(g) for g in stream] == [id(g) for g in again]
+        # The early hot item differs from the late one: rotation moved the
+        # popularity peak while the stream ran.
+        early = Counter(id(g) for g in stream[:100]).most_common(1)[0][0]
+        late = Counter(id(g) for g in stream[300:]).most_common(1)[0][0]
+        assert early != late
+
+    def test_generator_accepts_drifting_graph_distribution(self):
+        database = load_dataset("synthetic", scale=0.12)
+        spec = WorkloadSpec(
+            name="drift",
+            graph_distribution="zipf-drift",
+            alpha=1.2,
+            alpha_end=2.2,
+            drift_steps=40,
+            rotate_every=16,
+            rotate_stride=4,
+            seed=3,
+        )
+        queries = QueryGenerator(database, spec).generate(20)
+        assert len(queries) == 20
+        assert all(is_connected(query) for query in queries)
+        description = spec.describe()
+        assert description["alpha_end"] == 2.2
+        assert description["rotate_every"] == 16
+        assert spec.drift_kwargs() == {
+            "alpha_end": 2.2,
+            "drift_steps": 40,
+            "rotate_every": 16,
+            "rotate_stride": 4,
+        }
 
 
 class TestWorkloadSpec:
