@@ -3,21 +3,34 @@
 Two measurements over the same synthetic Zipf workload:
 
 1. **Verification stage** — each query is filtered once; its candidate set
-   is then verified against fresh verifiers on up to four paths: the PR-1
+   is then verified against fresh verifiers on up to five paths: the PR-1
    baseline (``Verifier(compiled=False, precheck=False)`` — a dict-based
    ``VF2Matcher`` per pair, no early-fail check), the compiled bigint
    kernel (``kernel="bigint"``: query plan compiled once, database-cached
-   bitset targets, signature pre-check) and — when numpy >= 2.0 is
-   importable — the numpy-enabled production path (``kernel="auto"``:
-   batched ``DatasetSignatures`` pre-reject + cost-model per-pair kernel)
-   plus the forced array kernel (``kernel="numpy"``, *informational
-   only*: per-pair numpy dispatch loses to CPython's C-loop bigint
-   bitops on real workload sizes — see ``docs/performance.md``).  All
-   answers must be byte-identical; the run **fails** on divergence, if
-   the bigint speedup falls below the gate (default 1.5x), or if the
-   numpy-enabled path's speedup over the uncompiled baseline falls below
-   its own gate (default 2.0x).  Pure-CPU comparisons, so the gates hold
-   on any machine.
+   bitset targets, signature pre-check), the native C kernel
+   (``kernel="native"``, when the shared library compiles/loads), the
+   production path (``kernel="auto"``: batched ``DatasetSignatures``
+   pre-reject plus whatever per-pair backend ``resolve_kernel`` picks in
+   this process — native when loadable, else the PR-6 cost model) and —
+   when numpy >= 2.0 is importable — the forced array kernel
+   (``kernel="numpy"``, *informational only*: per-pair numpy dispatch
+   loses to CPython's C-loop bigint bitops on real workload sizes — see
+   ``docs/performance.md``).  All answers must be byte-identical; the
+   run **fails** on divergence, if the bigint speedup falls below the
+   gate (default 1.5x), or if the production path's speedup over the
+   uncompiled baseline falls below its own gate (default 2.0x, skipped
+   when the path degenerates to bigint).  Pure-CPU comparisons, so the
+   gates hold on any machine.
+
+   When the native kernel is loadable a third gate compares it against
+   the bigint kernel it replaces *at kernel granularity*: every unique
+   ``(plan, target)`` pair of the corpus is swept through
+   ``compiled_has_embedding`` under both backends (answers must agree
+   pair by pair) and the native kernel must win by at least 2.0x.  The
+   end-to-end per-path verify times above are reported alongside but not
+   gated on the native/bigint ratio — at a few microseconds per pair the
+   shared Python dispatch floors that ratio and scheduler noise swamps
+   it, while the kernel-to-kernel sweep is stable on a loaded machine.
 
 2. **Pipelined planner** — the full query stream is run through
    ``IGQ.run_batch`` with the worker pool, once with ``pipeline=False`` and
@@ -51,7 +64,11 @@ from repro.core import (  # noqa: E402
     effective_cpu_count,
 )
 from repro.datasets.registry import load_dataset  # noqa: E402
-from repro.isomorphism import Verifier, numpy_kernel_available  # noqa: E402
+from repro.isomorphism import (  # noqa: E402
+    Verifier,
+    native_kernel_available,
+    numpy_kernel_available,
+)
 from repro.methods import create_method  # noqa: E402
 from repro.workloads.generator import QueryGenerator, WorkloadSpec  # noqa: E402
 from repro.workloads.zipf import create_sampler  # noqa: E402
@@ -80,7 +97,7 @@ def build_method(database, method_name: str, verifier: Verifier):
     return method
 
 
-def bench_verification_stage(database, stream, method_name: str) -> dict:
+def bench_verification_stage(database, stream, method_name: str, repeats: int = 3) -> dict:
     """Verify every query's candidate set through every verifier path."""
     methods = {
         "baseline": build_method(
@@ -88,48 +105,134 @@ def bench_verification_stage(database, stream, method_name: str) -> dict:
         ),
         "bigint": build_method(database, method_name, Verifier(kernel="bigint")),
     }
-    if numpy_kernel_available():
-        # "auto" is the numpy-enabled production path (batched prereject +
-        # cost-model per-pair kernel); "numpy" forces the array kernel per
-        # pair and is reported for the record, not gated.
+    if native_kernel_available():
+        methods["native"] = build_method(
+            database, method_name, Verifier(kernel="native")
+        )
+    if native_kernel_available() or numpy_kernel_available():
+        # "auto" is the production path: batched prereject + whatever
+        # per-pair backend resolve_kernel picks here (native > cost model).
         methods["auto"] = build_method(database, method_name, Verifier(kernel="auto"))
+    if numpy_kernel_available():
+        # "numpy" forces the array kernel per pair and is reported for the
+        # record, not gated.
         methods["numpy"] = build_method(database, method_name, Verifier(kernel="numpy"))
     database.precompile()
 
-    seconds = {name: 0.0 for name in methods}
-    identical = True
-    tests = 0
-    for query in stream:
-        candidates = list(methods["baseline"].filter_candidates(query))
-        tests += len(candidates)
+    # One untimed sweep over the distinct queries per path: plan memos,
+    # native structs and the batched-prereject arrays are amortised state in
+    # any long-running deployment, so the gates compare steady-state
+    # verification instead of charging first-touch costs to whichever leg
+    # happens to run first.
+    for method in methods.values():
+        for query in dict.fromkeys(stream):
+            method.verify(query, list(method.filter_candidates(query)))
 
-        answers = {}
-        for name, method in methods.items():
+    # Filter once (all paths verify the same candidate lists), then time
+    # each path as full sweeps over the stream: interleaving the paths
+    # per query would hand whichever leg runs *after* the native kernel a
+    # hot-cache advantage on the very pairs it is compared against.  Each
+    # sweep is repeated and the *minimum* is kept — the paths differ by
+    # microseconds per pair, so one scheduler preemption inside a single
+    # sweep would otherwise dominate the ratio the gates check.
+    candidate_lists = [list(methods["baseline"].filter_candidates(q)) for q in stream]
+    tests = sum(len(candidates) for candidates in candidate_lists)
+
+    seconds = {}
+    answers = {}
+    for name, method in methods.items():
+        best = None
+        for _ in range(max(1, repeats)):
             start = time.perf_counter()
-            answers[name] = sorted(map(repr, method.verify(query, candidates)))
-            seconds[name] += time.perf_counter() - start
-        if any(answers[name] != answers["baseline"] for name in methods):
-            identical = False
+            answers[name] = [
+                sorted(map(repr, method.verify(query, candidates)))
+                for query, candidates in zip(stream, candidate_lists)
+            ]
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        seconds[name] = best
+    identical = all(answers[name] == answers["baseline"] for name in methods)
 
     baseline_seconds = seconds["baseline"]
     result = {
         "verification_tests": tests,
         "numpy_kernel_available": numpy_kernel_available(),
+        "native_kernel_available": native_kernel_available(),
         "baseline_verify_seconds": round(baseline_seconds, 4),
         "compiled_verify_seconds": round(seconds["bigint"], 4),
         "verification_speedup": round(baseline_seconds / max(seconds["bigint"], 1e-9), 3),
         "verification_answers_identical": identical,
     }
+    if "native" in seconds:
+        result["native_verify_seconds"] = round(seconds["native"], 4)
+        result["native_speedup_vs_baseline"] = round(
+            baseline_seconds / max(seconds["native"], 1e-9), 3
+        )
+        result.update(
+            bench_native_kernel(
+                methods["bigint"], database, stream, candidate_lists, repeats
+            )
+        )
     if "auto" in seconds:
-        result["numpy_auto_verify_seconds"] = round(seconds["auto"], 4)
-        result["numpy_verification_speedup"] = round(
+        result["auto_resolved_kernel"] = (
+            "native" if native_kernel_available() else "cost-model"
+        )
+        result["auto_verify_seconds"] = round(seconds["auto"], 4)
+        result["auto_verification_speedup"] = round(
             baseline_seconds / max(seconds["auto"], 1e-9), 3
         )
+    if "numpy" in seconds:
         result["numpy_forced_verify_seconds"] = round(seconds["numpy"], 4)
         result["numpy_forced_speedup"] = round(
             baseline_seconds / max(seconds["numpy"], 1e-9), 3
         )
     return result
+
+
+def bench_native_kernel(method, database, stream, candidate_lists, repeats: int) -> dict:
+    """Kernel-granularity comparison: native vs bigint over the corpus pairs.
+
+    Sweeps every unique ``(plan, target)`` pair through
+    ``compiled_has_embedding`` with each backend forced (pre-check skipped,
+    so the measured work is exactly the search the backends implement),
+    keeping the minimum over ``repeats`` timed multi-pass sweeps.  Both
+    backends must agree on every pair.
+    """
+    from repro.isomorphism.compiled import compiled_has_embedding
+
+    pairs = []
+    seen = set()
+    for query, candidates in zip(stream, candidate_lists):
+        plan = method.verifier.compile_pattern(query)
+        for graph_id in candidates:
+            if (id(plan), graph_id) not in seen:
+                seen.add((id(plan), graph_id))
+                pairs.append((plan, database.compiled_target(graph_id)))
+
+    passes = 5
+    seconds = {}
+    verdicts = {}
+    for kernel in ("bigint", "native"):
+        best = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            for _ in range(passes):
+                answers = [
+                    compiled_has_embedding(plan, target, kernel=kernel, prechecked=True)
+                    for plan, target in pairs
+                ]
+            best = min(best or float("inf"), time.perf_counter() - start)
+        seconds[kernel] = best
+        verdicts[kernel] = answers
+    return {
+        "kernel_sweep_pairs": len(pairs),
+        "kernel_bigint_seconds": round(seconds["bigint"], 4),
+        "kernel_native_seconds": round(seconds["native"], 4),
+        "native_kernel_speedup": round(
+            seconds["bigint"] / max(seconds["native"], 1e-9), 3
+        ),
+        "native_kernel_answers_identical": verdicts["bigint"] == verdicts["native"],
+    }
 
 
 def cache_state(engine: IGQ):
@@ -193,7 +296,9 @@ def run_benchmark(args) -> dict:
         "effective_cpus": effective_cpu_count(),
         "min_speedup_gate": args.min_speedup,
     }
-    result.update(bench_verification_stage(database, stream, args.method))
+    result.update(
+        bench_verification_stage(database, stream, args.method, repeats=args.repeats)
+    )
     result.update(bench_pipelined_planner(database, stream, args.method, args))
     return result
 
@@ -207,17 +312,33 @@ def main(argv=None) -> int:
     parser.add_argument("--distinct", type=int, default=40)
     parser.add_argument("--alpha", type=float, default=1.2)
     parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="verification sweeps per path; the minimum is reported",
+    )
     parser.add_argument("--cache-size", type=int, default=40)
     parser.add_argument("--window-size", type=int, default=10)
     parser.add_argument("--workers", type=int, default=0, help="0 = auto-pick")
     parser.add_argument("--backend", default="auto", help="auto|sequential|thread|process")
     parser.add_argument("--min-speedup", type=float, default=1.5)
     parser.add_argument(
+        "--min-auto-speedup",
         "--min-numpy-speedup",
+        dest="min_auto_speedup",
         type=float,
         default=2.0,
-        help="gate on the numpy-enabled kernel='auto' path vs the uncompiled "
-        "baseline (skipped when numpy >= 2.0 is unavailable)",
+        help="gate on the kernel='auto' production path vs the uncompiled "
+        "baseline (skipped when neither the native library nor numpy >= 2.0 "
+        "is available)",
+    )
+    parser.add_argument(
+        "--min-native-speedup",
+        type=float,
+        default=2.0,
+        help="gate on the native C kernel vs the pure-Python bigint kernel "
+        "it replaces (skipped when the shared library cannot be loaded)",
     )
     parser.add_argument("--output", default=None, help="write the JSON result here too")
     args = parser.parse_args(argv)
@@ -240,16 +361,35 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         failed = True
-    if "numpy_verification_speedup" in result:
-        if result["numpy_verification_speedup"] < args.min_numpy_speedup:
+    if "auto_verification_speedup" in result:
+        if result["auto_verification_speedup"] < args.min_auto_speedup:
             print(
-                f"FAIL: numpy-enabled path speedup {result['numpy_verification_speedup']}x "
-                f"over the uncompiled baseline is below the {args.min_numpy_speedup}x gate",
+                f"FAIL: kernel='auto' path speedup {result['auto_verification_speedup']}x "
+                f"over the uncompiled baseline is below the {args.min_auto_speedup}x gate",
                 file=sys.stderr,
             )
             failed = True
     else:
-        print("note: numpy >= 2.0 unavailable; numpy-kernel leg skipped", file=sys.stderr)
+        print(
+            "note: neither native library nor numpy >= 2.0 available; "
+            "kernel='auto' leg skipped",
+            file=sys.stderr,
+        )
+    if "native_kernel_speedup" in result:
+        if not result["native_kernel_answers_identical"]:
+            print("FAIL: native kernel answers diverge from the bigint kernel", file=sys.stderr)
+            failed = True
+        if result["native_kernel_speedup"] < args.min_native_speedup:
+            print(
+                f"FAIL: native kernel speedup {result['native_kernel_speedup']}x "
+                f"over the bigint kernel is below the {args.min_native_speedup}x gate",
+                file=sys.stderr,
+            )
+            failed = True
+    else:
+        print("note: native library unavailable; native-kernel leg skipped", file=sys.stderr)
+    if "numpy_forced_speedup" not in result:
+        print("note: numpy >= 2.0 unavailable; forced numpy leg skipped", file=sys.stderr)
     if not result["pipeline_answers_identical"] or not result["pipeline_cache_state_identical"]:
         print("FAIL: pipelined planner diverges from the non-pipelined run", file=sys.stderr)
         failed = True

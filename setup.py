@@ -8,8 +8,25 @@ install path::
     pip install -e . --no-build-isolation --no-use-pep517
 
 All project metadata lives in ``pyproject.toml``.
+
+The native VF2 kernel (``src/repro/isomorphism/_ckernel.c``) is declared as
+an **optional** extension: a build without a C toolchain still succeeds and
+the package falls back to the pure-Python bigint kernel.  The extension is a
+plain C99 shared object consumed through ctypes — ``CKERNEL_PYMODULE`` only
+adds the module init stub setuptools requires — and when it is absent at
+runtime :mod:`repro.isomorphism._ckernel_loader` compiles the same source
+on demand into a user cache instead.
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+setup(
+    ext_modules=[
+        Extension(
+            "repro.isomorphism._ckernel",
+            sources=["src/repro/isomorphism/_ckernel.c"],
+            define_macros=[("CKERNEL_PYMODULE", "1")],
+            optional=True,
+        )
+    ]
+)

@@ -151,6 +151,12 @@ class BatchStats:
     #: speculative plans discarded because the previous query's completion
     #: flushed the query window (the plan is simply recomputed)
     pipeline_replans: int = 0
+    #: kernel backend each worker actually resolved, folded back per chunk
+    #: (name -> chunk count).  Kernel resolution is per process, so a worker
+    #: that could not load the native library quietly runs ``"bigint"``
+    #: while its parent runs ``"native"`` — this counter is how that
+    #: divergence becomes visible (see ``ServiceReport.kernel_resolved``).
+    worker_kernels: dict = field(default_factory=dict)
 
 
 class FeatureMemo:
@@ -227,13 +233,17 @@ def _run_verify_chunk(
     candidate_ids: list,
     supergraph: bool,
     features: GraphFeatures | None,
-) -> tuple[list, int, int, list[float]]:
+) -> tuple[list, int, int, list[float], str]:
     """Verify one chunk against ``method``.
 
     Returns the answers plus the verifier-stat deltas the chunk produced:
     positives, negatives and the per-test timing samples (whose length is
     the test count and whose sum is the time delta — the parent folds them
-    back so the :class:`VerifierStats` invariants hold after a batch).
+    back so the :class:`VerifierStats` invariants hold after a batch).  The
+    final element names the kernel backend this worker process actually
+    resolved — answers are backend-independent, but a worker that fell back
+    to ``"bigint"`` (native library unloadable in the fresh process) must
+    be *visible* in the folded statistics, not silently slower.
     """
     stats = method.verifier.stats
     positives, negatives = stats.positives, stats.negatives
@@ -251,6 +261,7 @@ def _run_verify_chunk(
         stats.positives - positives,
         stats.negatives - negatives,
         samples,
+        method.verifier.resolved_kernel_name(),
     )
 
 
@@ -259,7 +270,7 @@ def _process_verify_chunk(
     candidate_ids: list,
     supergraph: bool,
     features: GraphFeatures | None,
-) -> tuple[list, int, int, list[float]]:
+) -> tuple[list, int, int, list[float], str]:
     """Process-pool entry point: verify against the worker's method snapshot."""
     return _run_verify_chunk(_WORKER_METHOD, query, candidate_ids, supergraph, features)
 
@@ -270,7 +281,7 @@ def _thread_verify_chunk(
     candidate_ids: list,
     supergraph: bool,
     features: GraphFeatures | None,
-) -> tuple[list, int, int, list[float]]:
+) -> tuple[list, int, int, list[float], str]:
     """Thread-pool entry point.
 
     Threads share the index structures (read-only during querying) but each
@@ -757,12 +768,14 @@ class BatchExecutor:
     def _collect_chunks(self, futures: list) -> set:
         """Merge chunk results and fold the worker stats into the parent."""
         outcome = _ChunkOutcome()
+        worker_kernels = self.stats.worker_kernels
         for future in futures:
-            answers, positives, negatives, per_test_seconds = future.result()
+            answers, positives, negatives, per_test_seconds, kernel = future.result()
             outcome.answers.update(answers)
             outcome.positives += positives
             outcome.negatives += negatives
             outcome.per_test_seconds.extend(per_test_seconds)
+            worker_kernels[kernel] = worker_kernels.get(kernel, 0) + 1
         stats = self.method.verifier.stats
         stats.tests += len(outcome.per_test_seconds)
         stats.positives += outcome.positives

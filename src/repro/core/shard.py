@@ -818,7 +818,7 @@ def _shard_probe(
     home_super: bool = True,
     cover_sub=None,
     cover_super=None,
-) -> tuple[list[int], list[int], int, int, list[float], int]:
+) -> tuple[list[int], list[int], int, int, list[float], int, str]:
     """Worker entry point: catch up on the log tail, then probe.
 
     ``home_*`` / ``cover_*`` carry the parent's probe directive (pruning
@@ -826,8 +826,11 @@ def _shard_probe(
     defaults reproduce the unpruned full probe.  Returns the two hit-id
     lists plus the verifier-stat deltas of the probe (positives, negatives,
     per-test samples — folded back by the parent so the §4 containment-test
-    accounting stays byte-identical to the inline path) and the replica's
-    applied version.
+    accounting stays byte-identical to the inline path), the replica's
+    applied version, and the kernel backend this worker process resolved
+    (kernel resolution is per process: a shard worker that cannot load the
+    native library falls back to ``"bigint"`` locally, and the parent
+    surfaces that through ``shard_stats()["worker_kernels"]``).
     """
     shard = _WORKER_SHARD
     if reset:
@@ -856,6 +859,7 @@ def _shard_probe(
         stats.negatives - negatives,
         samples,
         shard.applied_version,
+        shard.verifier.resolved_kernel_name(),
     )
 
 
@@ -1086,6 +1090,11 @@ class _InlineShardRuntime:
     def progress(self) -> int:
         return min(shard.applied_version for shard in self.shards)
 
+    def worker_kernels(self) -> dict[int, str]:
+        """Kernel backend per shard — inline replicas share the parent's."""
+        resolved = self.shards[0].verifier.resolved_kernel_name() if self.shards else None
+        return {shard.shard_id: resolved for shard in self.shards}
+
     def verify_pool(self) -> ShardVerifyPool | None:
         return None
 
@@ -1118,6 +1127,9 @@ class _ProcessShardRuntime:
         #: in-flight counts shared with the batch executor's verify pool, so
         #: chunk routing sees probe load and vice versa
         self._tracker = _PoolLoadTracker(engine.num_shards)
+        #: kernel backend each shard worker reported with its last probe
+        #: (kernel resolution is per process; see ``worker_kernels()``)
+        self._worker_kernels: dict[int, str] = {}
 
     # ------------------------------------------------------------------
     def _ensure_pools(self) -> list[ProcessPoolExecutor]:
@@ -1137,6 +1149,10 @@ class _ProcessShardRuntime:
                 else:
                     method_payload = engine.method.verification_payload(mode=engine.mode)
             verifier = engine.igq_verifier.fresh_clone()
+            # Stamp the parent's kernel resolution onto the shipped clone;
+            # each shard worker re-resolves locally and reports its own name
+            # with every probe (see _shard_probe / worker_kernels()).
+            verifier.parent_resolved_kernel = engine.igq_verifier.resolved_kernel_name()
             self._pools = []
             for shard_id in range(engine.num_shards):
                 payload = pickle.dumps(
@@ -1171,6 +1187,7 @@ class _ProcessShardRuntime:
         pools = self._ensure_pools()
         log = self._engine.delta_log
         futures = []
+        probed_shards: list[int] = []
         for shard_id, pool in enumerate(pools):
             reset = self._needs_reset[shard_id]
             try:
@@ -1214,12 +1231,21 @@ class _ProcessShardRuntime:
                 lambda _, i=shard_id: self._tracker.release(i)
             )
             futures.append(future)
+            probed_shards.append(shard_id)
         sub_ids: list[int] = []
         super_ids: list[int] = []
         stats = self._engine.igq_verifier.stats
         try:
-            for future in futures:
-                shard_sub, shard_super, positives, negatives, samples, _ = future.result()
+            for shard_id, future in zip(probed_shards, futures):
+                (
+                    shard_sub,
+                    shard_super,
+                    positives,
+                    negatives,
+                    samples,
+                    _,
+                    kernel,
+                ) = future.result()
                 sub_ids.extend(shard_sub)
                 super_ids.extend(shard_super)
                 stats.tests += len(samples)
@@ -1227,6 +1253,7 @@ class _ProcessShardRuntime:
                 stats.negatives += negatives
                 stats.total_seconds += sum(samples)
                 stats.per_test_seconds.extend(samples)
+                self._worker_kernels[shard_id] = kernel
         except BaseException:
             # The deltas were optimistically marked shipped at submit time;
             # if any worker failed we can no longer tell which replicas
@@ -1242,6 +1269,17 @@ class _ProcessShardRuntime:
 
     def progress(self) -> int:
         return min(self._shipped)
+
+    def worker_kernels(self) -> dict[int, str]:
+        """Kernel backend each shard worker last reported (by shard id).
+
+        Empty until the first probe round-trip; thereafter one entry per
+        probed worker.  A worker process that could not load the native
+        library shows up as ``"bigint"`` here even when the parent resolved
+        ``"native"`` — the mixed dict is the observable signal of a
+        heterogeneous (and silently slower) pool.
+        """
+        return dict(self._worker_kernels)
 
     def verify_pool(self) -> ShardVerifyPool | None:
         return ShardVerifyPool(self._ensure_pools(), self._tracker)
@@ -1849,6 +1887,11 @@ class ShardedIGQ(IGQ):
             "replicas_live": len(self._replica_targets),
             "replicas_created": self._replicas_created,
             "moves_applied": self._moves_applied,
+            "worker_kernels": (
+                self.shard_runtime.worker_kernels()
+                if self.shard_runtime is not None
+                else {}
+            ),
             "delta_log": {
                 "length": len(log) if log is not None else 0,
                 "version": log.version if log is not None else 0,

@@ -99,12 +99,26 @@ class GraphDatabase:
         so the (one-time) compilation happens in the parent instead of once
         per worker.  Subgraph verification consumes ``targets``; supergraph
         verification (dataset graphs as patterns) consumes ``plans``.
+
+        When the native C kernel is loadable the per-target word buffers it
+        consumes are built here too: they are derived data (never pickled —
+        workers rebuild lazily), so eager construction only moves the same
+        one-time cost out of the first verification call.
         """
+        from ..isomorphism._ckernel_loader import native_kernel_available
+
+        build_native = targets and native_kernel_available()
         for graph_id in self._graphs:
             if targets:
-                self.compiled_target(graph_id)
+                target = self.compiled_target(graph_id)
+                if build_native:
+                    target.native()
             if plans:
                 self.compiled_plan(graph_id)
+        if targets:
+            # the batched pre-reject's stacked arrays are derived data too
+            # (None when numpy is unavailable)
+            self.dataset_signatures()
 
     def dataset_signatures(self):
         """Stacked per-graph signature arrays for the batched pre-reject.

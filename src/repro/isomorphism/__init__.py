@@ -10,6 +10,7 @@ from .compiled import (
     compiled_has_embedding,
     masked_components,
     masked_edge_count,
+    native_kernel_available,
     numpy_kernel_available,
     resolve_kernel,
     signature_prereject,
@@ -40,6 +41,7 @@ __all__ = [
     "compiled_has_embedding",
     "masked_components",
     "masked_edge_count",
+    "native_kernel_available",
     "numpy_kernel_available",
     "resolve_kernel",
     "signature_prereject",

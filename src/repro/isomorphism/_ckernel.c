@@ -1,0 +1,293 @@
+/* Native inner loop of the compiled VF2 kernel.
+ *
+ * This file is a line-for-line transliteration of `_bigint_has_embedding`
+ * (src/repro/isomorphism/compiled.py) from Python bigint bitmasks onto
+ * uint64 word arrays: identical matching order, identical ascending
+ * candidate order, identical degree / look-ahead / region predicates
+ * evaluated against the identical `used` state — so the boolean it returns
+ * is byte-identical to the bigint kernel on every (plan, target, mask)
+ * triple, which is what the repository's A/B contract requires.
+ *
+ * The file is deliberately dependency-free C99 so it can be built two ways:
+ *
+ *   1. by setuptools as an optional extension module (setup.py defines
+ *      CKERNEL_PYMODULE and links against Python for the no-op PyInit);
+ *   2. by the runtime fallback loader (`_ckernel_loader.py`) with nothing
+ *      but `cc -O3 -shared -fPIC` — no Python headers required; all entry
+ *      points use a plain C ABI consumed through ctypes.
+ *
+ * Data layout (built once per target / per plan on the Python side, see
+ * `NativeTarget` / the plan's `native_steps()` in compiled.py):
+ *
+ *   - adjacency:      n x num_words row-major uint64 neighbour bitsets;
+ *   - label_members:  num_labels x num_words uint64 bitsets (the vertices
+ *                     carrying each label — the unanchored candidate base);
+ *   - ladj_*:         CSR label-partitioned adjacency: for vertex v the
+ *                     entries [ladj_indptr[v], ladj_indptr[v+1]) name the
+ *                     distinct labels of v's neighbourhood (ascending label
+ *                     id) and each entry carries a num_words bitset of v's
+ *                     neighbours with that label (the anchored candidate
+ *                     base: candidates = AND of the anchors' rows);
+ *   - step_labels:    the plan's per-step label mapped into the target's
+ *                     label-id space (-1 when the target lacks the label);
+ *   - region:         optional num_words vertex mask (NULL = unmasked).
+ *
+ * Bits at positions >= n in the last word are never set by any of the
+ * above, so word-wise AND chains never need a trailing-word trim.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* The ABI version is checked by the loader after dlopen so a stale build
+ * of an older layout can never be driven with new-layout pointers.  Bump
+ * it whenever a struct or signature below changes. */
+#define CK_ABI_VERSION 1
+
+#if defined(_WIN32)
+#define CK_EXPORT __declspec(dllexport)
+#else
+#define CK_EXPORT __attribute__((visibility("default")))
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+static inline int ck_ctz64(uint64_t word) { return __builtin_ctzll(word); }
+static inline int ck_popcount64(uint64_t word) { return __builtin_popcountll(word); }
+#else
+static inline int ck_ctz64(uint64_t word) {
+    int count = 0;
+    while (!(word & 1u)) { word >>= 1; ++count; }
+    return count;
+}
+static inline int ck_popcount64(uint64_t word) {
+    int count = 0;
+    while (word) { word &= word - 1; ++count; }
+    return count;
+}
+#endif
+
+typedef struct {
+    int64_t n;              /* number of target vertices                  */
+    int64_t num_words;      /* uint64 words per bitset row                */
+    int64_t num_labels;     /* size of the target's label universe        */
+    const uint64_t *adjacency;     /* n * num_words                       */
+    const int64_t *degrees;        /* n                                   */
+    const uint64_t *label_members; /* num_labels * num_words              */
+    const int64_t *ladj_indptr;    /* n + 1 (entry offsets)               */
+    const int64_t *ladj_labels;    /* ladj_indptr[n] label ids            */
+    const uint64_t *ladj_words;    /* ladj_indptr[n] * num_words bitsets  */
+} ck_target;
+
+typedef struct {
+    int64_t num_steps;
+    const int64_t *min_degrees;    /* num_steps                           */
+    const int64_t *lookaheads;     /* num_steps                           */
+    const int64_t *anchor_indptr;  /* num_steps + 1                       */
+    const int64_t *anchors;        /* anchor_indptr[num_steps] positions  */
+} ck_plan;
+
+CK_EXPORT int64_t ck_abi_version(void) { return CK_ABI_VERSION; }
+
+/* Row of v's label-partitioned adjacency for `label`, or NULL when no
+ * neighbour of v carries the label (the bigint `.get(label, 0)`). */
+static inline const uint64_t *
+ck_label_row(const ck_target *t, int64_t vertex, int64_t label)
+{
+    int64_t lo = t->ladj_indptr[vertex];
+    int64_t hi = t->ladj_indptr[vertex + 1];
+    for (int64_t k = lo; k < hi; ++k) {
+        int64_t entry = t->ladj_labels[k];
+        if (entry == label)
+            return t->ladj_words + k * t->num_words;
+        if (entry > label)  /* entries are ascending */
+            break;
+    }
+    return NULL;
+}
+
+/* True iff the plan's pattern embeds into the target (image inside
+ * `region` when region is non-NULL).  Returns 1 / 0, or -1 on allocation
+ * failure (the Python wrapper raises MemoryError and never treats -1 as
+ * an answer). */
+CK_EXPORT int64_t
+ck_has_embedding(const ck_target *t,
+                 const ck_plan *p,
+                 const int64_t *step_labels,
+                 const uint64_t *region)
+{
+    const int64_t W = t->num_words;
+    const int64_t depth_count = p->num_steps;
+
+    /* Stack buffers cover every realistic plan/target; spill to malloc
+     * beyond them.  Layout: pending masks (depth_count * W), used (W),
+     * scratch candidate words are the pending row itself. */
+    uint64_t stack_words[2048];
+    int64_t stack_meta[256];
+    uint64_t *words = stack_words;
+    int64_t *meta = stack_meta;
+    int64_t want_words = (depth_count + 1) * W;
+    int64_t want_meta = 3 * depth_count;
+    if (want_words > (int64_t)(sizeof(stack_words) / sizeof(uint64_t))) {
+        words = (uint64_t *)malloc((size_t)want_words * sizeof(uint64_t));
+        if (words == NULL)
+            return -1;
+    }
+    if (want_meta > (int64_t)(sizeof(stack_meta) / sizeof(int64_t))) {
+        meta = (int64_t *)malloc((size_t)want_meta * sizeof(int64_t));
+        if (meta == NULL) {
+            if (words != stack_words)
+                free(words);
+            return -1;
+        }
+    }
+    uint64_t *pending = words;                     /* depth_count * W */
+    uint64_t *used = words + depth_count * W;      /* W               */
+    int64_t *images = meta;                        /* depth_count     */
+    int64_t *image_words = meta + depth_count;     /* word index      */
+    int64_t *image_bits = meta + 2 * depth_count;  /* bit index       */
+    memset(used, 0, (size_t)W * sizeof(uint64_t));
+
+    int64_t depth = 0;
+    int advancing = 1;
+    int64_t result = 0;
+
+    for (;;) {
+        const int64_t label = step_labels[depth];
+        const int64_t min_degree = p->min_degrees[depth];
+        const int64_t lookahead = p->lookaheads[depth];
+        uint64_t *candidates = pending + depth * W;
+
+        if (advancing) {
+            const int64_t anchor_lo = p->anchor_indptr[depth];
+            const int64_t anchor_hi = p->anchor_indptr[depth + 1];
+            if (label < 0) {
+                /* Label absent from the target: empty base. */
+                memset(candidates, 0, (size_t)W * sizeof(uint64_t));
+            } else if (anchor_lo < anchor_hi) {
+                const uint64_t *row =
+                    ck_label_row(t, images[p->anchors[anchor_lo]], label);
+                if (row == NULL) {
+                    memset(candidates, 0, (size_t)W * sizeof(uint64_t));
+                } else {
+                    memcpy(candidates, row, (size_t)W * sizeof(uint64_t));
+                    for (int64_t a = anchor_lo + 1; a < anchor_hi; ++a) {
+                        const uint64_t *other =
+                            ck_label_row(t, images[p->anchors[a]], label);
+                        if (other == NULL) {
+                            memset(candidates, 0, (size_t)W * sizeof(uint64_t));
+                            break;
+                        }
+                        uint64_t any = 0;
+                        for (int64_t w = 0; w < W; ++w) {
+                            candidates[w] &= other[w];
+                            any |= candidates[w];
+                        }
+                        if (!any)
+                            break;
+                    }
+                }
+            } else {
+                memcpy(candidates, t->label_members + label * W,
+                       (size_t)W * sizeof(uint64_t));
+            }
+            if (region != NULL) {
+                for (int64_t w = 0; w < W; ++w)
+                    candidates[w] &= region[w] & ~used[w];
+            } else {
+                for (int64_t w = 0; w < W; ++w)
+                    candidates[w] &= ~used[w];
+            }
+        }
+        /* else: resume from the pending candidates stored at this depth. */
+
+        int advanced = 0;
+        for (int64_t w = 0; w < W && !advanced; ++w) {
+            while (candidates[w]) {
+                const uint64_t low = candidates[w] & (~candidates[w] + 1);
+                const int bit = ck_ctz64(candidates[w]);
+                candidates[w] ^= low;
+                const int64_t vertex = (w << 6) + bit;
+                if (t->degrees[vertex] < min_degree)
+                    continue;
+                if (lookahead) {
+                    const uint64_t *adj_row = t->adjacency + vertex * W;
+                    int64_t free_neighbors = 0;
+                    if (region != NULL) {
+                        for (int64_t v = 0; v < W; ++v)
+                            free_neighbors += ck_popcount64(
+                                adj_row[v] & region[v] & ~used[v]);
+                    } else {
+                        for (int64_t v = 0; v < W; ++v)
+                            free_neighbors += ck_popcount64(adj_row[v] & ~used[v]);
+                    }
+                    if (free_neighbors < lookahead)
+                        continue;
+                }
+                /* Accept this candidate and descend (the tried/skipped
+                 * bits are already cleared in the pending row). */
+                images[depth] = vertex;
+                image_words[depth] = w;
+                image_bits[depth] = bit;
+                used[w] |= low;
+                ++depth;
+                if (depth == depth_count) {
+                    result = 1;
+                    goto done;
+                }
+                advanced = 1;
+                break;
+            }
+        }
+        if (advanced) {
+            advancing = 1;
+            continue;
+        }
+        /* Exhausted this depth: backtrack. */
+        --depth;
+        if (depth < 0) {
+            result = 0;
+            goto done;
+        }
+        used[image_words[depth]] ^= (uint64_t)1 << image_bits[depth];
+        advancing = 0;
+    }
+
+done:
+    if (words != stack_words)
+        free(words);
+    if (meta != stack_meta)
+        free(meta);
+    return result;
+}
+
+#ifdef CKERNEL_PYMODULE
+/* Minimal module object so setuptools can build this file as an importable
+ * extension (`repro.isomorphism._ckernel`).  The kernel is still driven
+ * through ctypes against the shared object's exported symbols — the module
+ * body exists only to make the build artifact a valid import target and to
+ * advertise where the symbols live. */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+static struct PyModuleDef ck_module = {
+    PyModuleDef_HEAD_INIT,
+    "_ckernel",
+    "Native VF2 inner loop (symbols consumed via ctypes; see _ckernel_loader).",
+    -1,
+    NULL,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    PyObject *module = PyModule_Create(&ck_module);
+    if (module == NULL)
+        return NULL;
+    if (PyModule_AddIntConstant(module, "ABI_VERSION", CK_ABI_VERSION) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}
+#endif  /* CKERNEL_PYMODULE */

@@ -59,19 +59,27 @@ implementations selected by the ``kernel`` argument (threaded through
   vectorised array operations per depth instead of per candidate.  Requires
   numpy (import-guarded) on a little-endian platform; forcing it when
   unavailable silently falls back to ``"bigint"``.
-* ``"auto"`` (default) — a small cost model: per-pair search runs
+* ``"native"`` — the same search compiled to machine code: a hand-written
+  C inner loop (``_ckernel.c``) over the ``uint64`` word-array layout,
+  driven through ctypes (:class:`NativeTarget` marshals the target once,
+  the plan marshals once, each call passes two struct pointers).  Built as
+  an *optional* setuptools extension or compiled on demand into a user
+  cache by :mod:`repro.isomorphism._ckernel_loader`; falls back to
+  ``"bigint"`` when neither works (no compiler, ``REPRO_DISABLE_NATIVE``).
+* ``"auto"`` (default) — prefers ``"native"`` whenever the C kernel is
+  loadable.  Otherwise a small cost model: per-pair search runs
   ``"numpy"`` only for targets with at least
   :data:`NUMPY_KERNEL_MIN_VERTICES` vertices and ``"bigint"`` below it,
   while the *batch-level* vectorisation (the
   :class:`DatasetSignatures` pre-reject) is always enabled.  Measured on
-  CPython, the per-pair crossover lies beyond every graph size we can
-  construct — CPython's bigint bitops already run at C speed over words,
-  and the VF2 step granularity is too fine to amortise array-op dispatch —
-  so the default threshold effectively keeps per-pair matching on
-  ``"bigint"`` and the batched pre-reject is where the arrays pay
-  (see docs/performance.md).
+  CPython, the per-pair numpy crossover lies beyond every graph size we
+  can construct — CPython's bigint bitops already run at C loops over
+  words, and the VF2 step granularity is too fine to amortise array-op
+  dispatch — so without the C kernel the default threshold effectively
+  keeps per-pair matching on ``"bigint"`` and the batched pre-reject is
+  where the arrays pay (see docs/performance.md).
 
-Both backends explore the *identical* DFS tree (same matching order, same
+All backends explore the *identical* DFS tree (same matching order, same
 ascending candidate order, same feasibility predicates evaluated against
 the same ``used`` state), so answers — and therefore every downstream
 accounting and cache decision — are byte-identical by construction.  The
@@ -85,11 +93,16 @@ any per-pair matching starts (both query directions).
 
 from __future__ import annotations
 
+import ctypes
 import sys
+import weakref
+from array import array
 from collections.abc import Hashable, Sequence
 
 from ..graphs.bitset import VertexIdSpace, iter_bits
 from ..graphs.graph import LabeledGraph
+from . import _ckernel_loader
+from ._ckernel_loader import native_kernel_available
 
 try:  # pragma: no cover - exercised indirectly via numpy_kernel_available()
     import numpy as _np
@@ -100,6 +113,7 @@ __all__ = [
     "CompiledTarget",
     "CompiledQueryPlan",
     "DatasetSignatures",
+    "NativeTarget",
     "TargetArrays",
     "KERNELS",
     "NUMPY_KERNEL_MIN_VERTICES",
@@ -108,6 +122,7 @@ __all__ = [
     "compiled_has_embedding",
     "masked_components",
     "masked_edge_count",
+    "native_kernel_available",
     "numpy_kernel_available",
     "resolve_kernel",
     "signature_prereject",
@@ -115,7 +130,7 @@ __all__ = [
 ]
 
 #: accepted values of the ``kernel`` flag, in documentation order
-KERNELS = ("auto", "bigint", "numpy")
+KERNELS = ("auto", "bigint", "numpy", "native")
 
 #: ``"auto"`` cost-model crossover: targets with at least this many vertices
 #: run the per-pair numpy kernel.  Benchmarked on CPython (sparse and dense
@@ -143,21 +158,43 @@ def numpy_kernel_available() -> bool:
     return _np is not None and sys.byteorder == "little" and hasattr(_np, "bitwise_count")
 
 
-def resolve_kernel(kernel: str, target: "CompiledTarget") -> str:
+def resolve_kernel(kernel: str, target: "CompiledTarget | None" = None) -> str:
     """Resolve a ``kernel`` request to the backend actually run for ``target``.
 
-    ``"bigint"`` always resolves to itself; ``"numpy"`` resolves to the numpy
-    backend when :func:`numpy_kernel_available` (bigint fallback otherwise);
-    ``"auto"`` additionally applies the :data:`NUMPY_KERNEL_MIN_VERTICES`
-    cost model per target graph.
+    ``"bigint"`` always resolves to itself; ``"native"`` resolves to the C
+    kernel when :func:`native_kernel_available` (bigint fallback otherwise);
+    ``"numpy"`` resolves to the numpy backend when
+    :func:`numpy_kernel_available` (bigint fallback otherwise); ``"auto"``
+    prefers the native kernel whenever it is loadable and otherwise applies
+    the :data:`NUMPY_KERNEL_MIN_VERTICES` cost model per target graph.
+
+    Resolution is per *process* (a worker without a C compiler resolves
+    ``"native"`` to ``"bigint"`` locally, regardless of its parent) and, for
+    the ``"auto"`` cost model, per target.  ``target`` may be omitted for
+    reporting purposes — the omitted-target answer equals the per-target
+    answer for every sub-threshold (i.e. realistic) target.
+
+    Hot-path callers go through :meth:`CompiledTarget.resolved_kernel`,
+    which memoises this answer per target; call this directly only off the
+    per-pair path.
     """
-    if kernel == "bigint" or not numpy_kernel_available():
+    if kernel == "bigint":
         return "bigint"
+    if kernel == "native":
+        return "native" if native_kernel_available() else "bigint"
     if kernel == "numpy":
-        return "numpy"
+        return "numpy" if numpy_kernel_available() else "bigint"
     if kernel != "auto":
         raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
-    return "numpy" if target.num_vertices >= NUMPY_KERNEL_MIN_VERTICES else "bigint"
+    if native_kernel_available():
+        return "native"
+    if (
+        target is not None
+        and numpy_kernel_available()
+        and target.num_vertices >= NUMPY_KERNEL_MIN_VERTICES
+    ):
+        return "numpy"
+    return "bigint"
 
 
 def degree_signature_dominates(
@@ -237,11 +274,18 @@ class CompiledTarget:
         "label_histogram",
         "label_degrees",
         "_arrays",
+        "_native",
+        "_kernel_cache",
     )
+
+    #: slots never pickled: per-process caches, rebuilt lazily after unpickling
+    _TRANSIENT_SLOTS = ("_arrays", "_native", "_kernel_cache")
 
     def __init__(self, graph: LabeledGraph) -> None:
         self.graph = graph
         self._arrays = None
+        self._native = None
+        self._kernel_cache = {}
         space = VertexIdSpace(graph.vertices())
         self.space = space
         n = len(space)
@@ -295,17 +339,54 @@ class CompiledTarget:
             self._arrays = arrays
         return arrays
 
+    def native(self) -> "NativeTarget":
+        """The ctypes word-array form of this target for the C kernel.
+
+        Built lazily on first request by the native backend and cached for
+        every later verification against this target; callers must first
+        check :func:`native_kernel_available`.  Like :meth:`arrays`, the
+        cache is dropped when the target is pickled (ctypes buffers hold
+        raw addresses that are meaningless in another process; workers
+        rebuild on demand).
+        """
+        native = self._native
+        if native is None:
+            native = NativeTarget(self)
+            self._native = native
+        return native
+
+    def resolved_kernel(self, kernel: str) -> str:
+        """Memoised :func:`resolve_kernel` for this target.
+
+        Kernel resolution is invariant per ``(process, target, kernel)``
+        triple — availability of the native/numpy backends never changes
+        within a process, and the ``"auto"`` cost model depends only on the
+        target — so the hot per-pair path reduces dispatch to one dict hit.
+        The memo is dropped on pickling together with the other per-process
+        caches: a worker re-resolves locally, because the native library
+        present in the parent may be unloadable in a fresh process.
+        """
+        cache = self._kernel_cache
+        resolved = cache.get(kernel)
+        if resolved is None:
+            resolved = resolve_kernel(kernel, self)
+            cache[kernel] = resolved
+        return resolved
+
     def __getstate__(self):
-        """Pickle every slot except the rebuildable numpy array cache."""
+        """Pickle every slot except the per-process caches."""
+        transient = self._TRANSIENT_SLOTS
         return {
-            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_arrays"
+            slot: getattr(self, slot) for slot in self.__slots__ if slot not in transient
         }
 
     def __setstate__(self, state) -> None:
-        """Restore pickled slots; the array form is rebuilt lazily."""
+        """Restore pickled slots; array/native forms are rebuilt lazily."""
         for slot, value in state.items():
             setattr(self, slot, value)
         self._arrays = None
+        self._native = None
+        self._kernel_cache = {}
 
     def __repr__(self) -> str:
         return (
@@ -337,10 +418,15 @@ class CompiledQueryPlan:
         "steps",
         "label_histogram",
         "label_degrees",
+        "_native",
+        # weak-referenceable so NativeTarget's per-plan step-label memo can
+        # drop entries automatically when a plan dies
+        "__weakref__",
     )
 
     def __init__(self, pattern: LabeledGraph) -> None:
         self.pattern = pattern
+        self._native = None
         self.num_vertices = pattern.num_vertices
         self.num_edges = pattern.num_edges
         self.label_histogram = dict(pattern.label_histogram())
@@ -415,6 +501,63 @@ class CompiledQueryPlan:
             if target_hist.get(label, 0) < count:
                 return True
         return not degree_signature_dominates(self.label_degrees, target.label_degrees)
+
+    def native(self):
+        """The plan's ``ck_plan`` struct for the C kernel (built once, cached).
+
+        Flattens the per-step degrees, look-aheads and anchor positions into
+        contiguous int64 arrays and returns the ctypes struct pointing at
+        them; the backing buffers are kept alive alongside the struct.  Like
+        the target-side caches the result is dropped on pickling (raw
+        addresses do not survive a process hop).
+        """
+        native = self._native
+        if native is None:
+            steps = self.steps
+            min_degrees = array("q", [step[1] for step in steps])
+            lookaheads = array("q", [step[3] for step in steps])
+            flat_anchors: list[int] = []
+            offsets = [0]
+            for _, _, anchors, _ in steps:
+                flat_anchors.extend(anchors)
+                offsets.append(len(flat_anchors))
+            anchor_indptr = array("q", offsets)
+            anchor_flat = array("q", flat_anchors)
+            struct = _CkPlan(
+                len(steps),
+                min_degrees.buffer_info()[0],
+                lookaheads.buffer_info()[0],
+                anchor_indptr.buffer_info()[0],
+                anchor_flat.buffer_info()[0],
+            )
+            native = (
+                struct,
+                ctypes.byref(struct),
+                (min_degrees, lookaheads, anchor_indptr, anchor_flat),
+            )
+            self._native = native
+        return native[0]
+
+    def native_ref(self):
+        """Reusable ``byref`` argument object for :meth:`native`'s struct."""
+        native = self._native
+        if native is None:
+            self.native()
+            native = self._native
+        return native[1]
+
+    def __getstate__(self):
+        """Pickle every slot except the per-process native struct cache."""
+        transient = ("_native", "__weakref__")
+        return {
+            slot: getattr(self, slot) for slot in self.__slots__ if slot not in transient
+        }
+
+    def __setstate__(self, state) -> None:
+        """Restore pickled slots; the native struct is rebuilt lazily."""
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._native = None
 
     def __repr__(self) -> str:
         return f"<CompiledQueryPlan |V|={self.num_vertices} |E|={self.num_edges}>"
@@ -514,7 +657,10 @@ def compiled_has_embedding(
         return False
     if not prechecked and plan.prereject(target):
         return False
-    if resolve_kernel(kernel, target) == "numpy":
+    resolved = target.resolved_kernel(kernel)
+    if resolved == "native":
+        return _native_has_embedding(plan, target, vertex_mask)
+    if resolved == "numpy":
         return _numpy_has_embedding(plan, target, vertex_mask)
     return _bigint_has_embedding(plan, target, vertex_mask)
 
@@ -757,6 +903,189 @@ def _numpy_has_embedding(
             vertex = images[depth]
             used[vertex >> 6] ^= _BIT_WORDS[vertex & 63]
             advancing = False
+
+
+# ----------------------------------------------------------------------
+# native C kernel backend
+# ----------------------------------------------------------------------
+
+
+class _CkTarget(ctypes.Structure):
+    """ctypes mirror of ``ck_target`` in ``_ckernel.c`` (ABI v1)."""
+
+    _fields_ = [
+        ("n", ctypes.c_int64),
+        ("num_words", ctypes.c_int64),
+        ("num_labels", ctypes.c_int64),
+        ("adjacency", ctypes.c_void_p),
+        ("degrees", ctypes.c_void_p),
+        ("label_members", ctypes.c_void_p),
+        ("ladj_indptr", ctypes.c_void_p),
+        ("ladj_labels", ctypes.c_void_p),
+        ("ladj_words", ctypes.c_void_p),
+    ]
+
+
+class _CkPlan(ctypes.Structure):
+    """ctypes mirror of ``ck_plan`` in ``_ckernel.c`` (ABI v1)."""
+
+    _fields_ = [
+        ("num_steps", ctypes.c_int64),
+        ("min_degrees", ctypes.c_void_p),
+        ("lookaheads", ctypes.c_void_p),
+        ("anchor_indptr", ctypes.c_void_p),
+        ("anchors", ctypes.c_void_p),
+    ]
+
+
+class NativeTarget:
+    """ctypes word-array form of a :class:`CompiledTarget` for the C kernel.
+
+    Serialises every bigint bitmask of the target into little-endian
+    ``uint64`` word buffers once — ``adjacency`` as an ``(n, W)`` row-major
+    block, ``label_members`` as one ``W``-word row per label id, and the
+    label-partitioned adjacency as a CSR block whose entries per vertex are
+    sorted by ascending label id (the order ``ck_label_row`` linear-scans).
+    Labels are arbitrary hashables on the Python side, so ``label_ids``
+    assigns them dense ints; per call the plan's step labels are mapped
+    through it (``-1`` marks a label the target lacks — an empty candidate
+    base, exactly the bigint kernel's ``.get(label, 0)``).
+
+    ``struct`` is the ready-to-pass ``ck_target`` pointer block; the
+    backing :mod:`array` buffers are pinned in ``_buffers`` for the
+    lifetime of this object.  Built via :meth:`CompiledTarget.native` and
+    cached there; never pickled.
+    """
+
+    __slots__ = (
+        "num_words",
+        "full_mask",
+        "label_ids",
+        "struct",
+        "struct_ref",
+        "_buffers",
+        "_step_labels",
+    )
+
+    def __init__(self, target: CompiledTarget) -> None:
+        n = target.num_vertices
+        num_words = max(1, (n + 63) // 64)
+        row_bytes = num_words * 8
+        self.num_words = num_words
+        self.full_mask = (1 << n) - 1
+        label_ids = {label: index for index, label in enumerate(target.label_masks)}
+        self.label_ids = label_ids
+
+        adjacency = array("Q")
+        adjacency.frombytes(
+            b"".join(
+                mask.to_bytes(row_bytes, "little") for mask in target.adjacency_masks
+            )
+        )
+        degrees = array("q", target.degrees)
+        members = array("Q")
+        members.frombytes(
+            b"".join(
+                target.label_masks[label].to_bytes(row_bytes, "little")
+                for label in label_ids
+            )
+        )
+
+        offsets = [0] * (n + 1)
+        entry_labels: list[int] = []
+        entry_chunks: list[bytes] = []
+        for position, by_label in enumerate(target.label_adjacency_masks):
+            entries = sorted(
+                (label_ids[label], mask) for label, mask in by_label.items()
+            )
+            offsets[position + 1] = offsets[position] + len(entries)
+            for label_id, mask in entries:
+                entry_labels.append(label_id)
+                entry_chunks.append(mask.to_bytes(row_bytes, "little"))
+        ladj_indptr = array("q", offsets)
+        ladj_labels = array("q", entry_labels)
+        ladj_words = array("Q")
+        ladj_words.frombytes(b"".join(entry_chunks))
+
+        # plan -> (step-label array, base address); weak keys so entries die
+        # with their plan instead of pinning every plan ever verified here
+        self._step_labels = weakref.WeakKeyDictionary()
+        self._buffers = (
+            adjacency,
+            degrees,
+            members,
+            ladj_indptr,
+            ladj_labels,
+            ladj_words,
+        )
+        self.struct = _CkTarget(
+            n,
+            num_words,
+            len(label_ids),
+            adjacency.buffer_info()[0],
+            degrees.buffer_info()[0],
+            members.buffer_info()[0],
+            ladj_indptr.buffer_info()[0],
+            ladj_labels.buffer_info()[0],
+            ladj_words.buffer_info()[0],
+        )
+        # byref argument objects are reusable; building one per call would
+        # be measurable next to a microsecond-scale kernel entry
+        self.struct_ref = ctypes.byref(self.struct)
+
+    def step_labels_address(self, plan: "CompiledQueryPlan") -> int:
+        """Base address of ``plan``'s step labels mapped into this target's
+        label id space (``-1`` for labels the target lacks).
+
+        The mapping is invariant per ``(plan, target)`` pair, so it is
+        memoised — on the hot path (one query verified against many cached
+        candidates, each candidate hit repeatedly across the batch) the
+        per-call marshalling cost collapses to one dict hit.
+        """
+        cached = self._step_labels.get(plan)
+        if cached is None:
+            get = self.label_ids.get
+            labels = array("q", [get(step[0], -1) for step in plan.steps])
+            cached = (labels, labels.buffer_info()[0])
+            self._step_labels[plan] = cached
+        return cached[1]
+
+
+def _native_has_embedding(
+    plan: CompiledQueryPlan, target: CompiledTarget, vertex_mask: int | None
+) -> bool:
+    """The C kernel backend (``_ckernel.c`` driven through ctypes).
+
+    The target and plan structs are prebuilt and cached (see
+    :meth:`CompiledTarget.native` / :meth:`CompiledQueryPlan.native`), and
+    the plan's step labels mapped into the target's label id space are
+    memoised per pair (:meth:`NativeTarget.step_labels_address`); the only
+    per-call marshalling left is serialising the region mask on masked
+    runs.  Callers guarantee the library loaded (``resolved_kernel``
+    returned ``"native"``).
+    """
+    library = _ckernel_loader.kernel()
+    native_target = target.native()
+    plan_ref = plan.native_ref()
+    step_labels_address = native_target.step_labels_address(plan)
+    region_address = None
+    if vertex_mask is not None:
+        region = array("Q")
+        region.frombytes(
+            (vertex_mask & native_target.full_mask).to_bytes(
+                native_target.num_words * 8, "little"
+            )
+        )
+        region_address = region.buffer_info()[0]
+    result = library.ck_has_embedding(
+        native_target.struct_ref,
+        plan_ref,
+        step_labels_address,
+        region_address,
+    )
+    if result < 0:  # pragma: no cover - allocation failure inside the kernel
+        raise MemoryError("native kernel scratch allocation failed")
+    return bool(result)
 
 
 # ----------------------------------------------------------------------

@@ -32,6 +32,7 @@ from .compiled import (
     compile_target,
     compiled_has_embedding,
     numpy_kernel_available,
+    resolve_kernel,
     signature_prereject,
 )
 from .ullmann import UllmannMatcher
@@ -40,6 +41,10 @@ from .vf2 import VF2Matcher
 __all__ = ["VerifierStats", "Verifier"]
 
 _ALGORITHMS = ("vf2", "ullmann")
+
+#: entries kept by the per-verifier compile memos (queries in flight at any
+#: moment are few; the memo only needs to cover a working set of repeats)
+_COMPILE_MEMO_CAPACITY = 64
 
 
 @dataclass
@@ -82,8 +87,10 @@ class Verifier:
     kernel:
         Compiled-kernel backend: ``"bigint"`` (pure-Python bitmask loop),
         ``"numpy"`` (vectorised uint64 word arrays, bigint fallback when
-        numpy is unavailable) or ``"auto"`` (default; per-target cost
-        model).  Both backends explore the identical search tree, so
+        numpy is unavailable), ``"native"`` (hand-written C inner loop,
+        bigint fallback when the shared library cannot be loaded) or
+        ``"auto"`` (default; native when loadable, else per-target cost
+        model).  All backends explore the identical search tree, so
         answers and accounting never depend on the choice.
     """
 
@@ -107,6 +114,21 @@ class Verifier:
         self.precheck = precheck
         self.kernel = kernel
         self.stats = VerifierStats()
+        #: what the *parent* process resolved ``kernel`` to, stamped onto
+        #: worker-bound verifier clones by ``verification_snapshot`` (the
+        #: worker still re-resolves locally — the native library present in
+        #: the parent may be unloadable in a fresh process; comparing the
+        #: two names is how a silent fallback is detected)
+        self.parent_resolved_kernel: str | None = None
+        # id(graph) -> (graph, num_vertices, num_edges, compiled) memos for
+        # compile_pattern / compile_target: workload streams repeat queries
+        # (Zipf by design), and the compiled forms depend only on the graph.
+        # Entries hold a strong reference to their graph, so a live entry's
+        # id can never be reused by a new object; the count guard catches
+        # in-place growth (add_vertex / add_edge are the only mutators and
+        # both strictly increase a count).
+        self._plan_memo: dict[int, tuple] = {}
+        self._target_memo: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Compiled fast path
@@ -115,19 +137,43 @@ class Verifier:
         """True if this verifier may dispatch to the compiled kernel."""
         return self.compiled and self.algorithm == "vf2" and not self.induced
 
+    @staticmethod
+    def _memoised(memo: dict, graph: LabeledGraph, compile_fn):
+        entry = memo.get(id(graph))
+        if (
+            entry is not None
+            and entry[1] == graph.num_vertices
+            and entry[2] == graph.num_edges
+        ):
+            return entry[3]
+        compiled = compile_fn(graph)
+        if len(memo) >= _COMPILE_MEMO_CAPACITY:
+            memo.pop(next(iter(memo)))
+        memo[id(graph)] = (graph, graph.num_vertices, graph.num_edges, compiled)
+        return compiled
+
     def compile_pattern(self, pattern: LabeledGraph) -> CompiledQueryPlan | None:
         """Compile ``pattern`` into a reusable plan, or ``None`` when the
-        configured algorithm requires the graph-based path."""
+        configured algorithm requires the graph-based path.
+
+        Memoised per graph object: a repeated query re-uses its plan
+        instead of recomputing the matching order (plans are immutable and
+        deterministic, so sharing never changes answers or accounting).
+        """
         if not self.supports_compiled():
             return None
-        return compile_query_plan(pattern)
+        return self._memoised(self._plan_memo, pattern, compile_query_plan)
 
     def compile_target(self, target: LabeledGraph) -> CompiledTarget | None:
         """Compile ``target`` for repeated verification, or ``None`` when the
-        configured algorithm requires the graph-based path."""
+        configured algorithm requires the graph-based path.
+
+        Memoised like :meth:`compile_pattern` (supergraph streams repeat
+        query graphs in the target role the same way).
+        """
         if not self.supports_compiled():
             return None
-        return compile_target(target)
+        return self._memoised(self._target_memo, target, compile_target)
 
     def batched_prereject_enabled(self) -> bool:
         """True if callers should run the vectorised batched pre-reject.
@@ -138,6 +184,22 @@ class Verifier:
         numpy) and when numpy is unavailable.
         """
         return self.kernel != "bigint" and numpy_kernel_available()
+
+    def resolved_kernel_name(self) -> str:
+        """The kernel backend this verifier runs *in this process*.
+
+        ``"uncompiled"`` when the configuration bypasses the compiled
+        kernel entirely; otherwise the target-independent
+        :func:`resolve_kernel` answer for the configured ``kernel``.
+        Resolution is per process — a worker whose native library failed to
+        load reports ``"bigint"`` here while its parent reports
+        ``"native"`` — and the ``kernel_resolved`` block of the service
+        report folds these names back from every worker precisely so that
+        such a silent fallback is visible.
+        """
+        if not self.supports_compiled():
+            return "uncompiled"
+        return resolve_kernel(self.kernel)
 
     def is_subgraph_compiled(
         self,

@@ -384,6 +384,11 @@ class SubgraphQueryMethod(ABC):
         # pickle their OS handles nor share the refcounts.
         clone._shared_payloads = {}
         clone.verifier = self.verifier.fresh_clone()
+        # Ship what this process resolved the kernel to.  The worker always
+        # re-resolves locally (the native library may be unloadable in a
+        # fresh process), and reports its own resolution with every chunk;
+        # carrying the parent's name lets it be compared against.
+        clone.verifier.parent_resolved_kernel = self.verifier.resolved_kernel_name()
         return clone
 
     def verification_payload(

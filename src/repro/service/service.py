@@ -174,6 +174,15 @@ class ServiceReport:
     #: delta-log health: length, version, last-compaction floor, records
     #: folded away by compaction so far
     delta_log: dict = field(default_factory=dict)
+    #: which kernel backend actually ran, per stage: ``configured`` (the
+    #: requested ``verifier.kernel``), ``parent`` (what this process
+    #: resolved it to), ``workers`` (backend -> chunk count folded back from
+    #: the batch pool) and ``shards`` (shard id -> backend from the last
+    #: probe round).  Kernel resolution is per *process*, so a worker that
+    #: could not load the native library runs ``"bigint"`` while the parent
+    #: runs ``"native"`` — this block makes that fallback visible instead
+    #: of silently slower.
+    kernel_resolved: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """JSON-serialisable form (dashboards, experiment archives)."""
@@ -197,6 +206,7 @@ class ServiceReport:
                 "moves_applied": self.moves_applied,
             },
             "delta_log": dict(self.delta_log),
+            "kernel_resolved": dict(self.kernel_resolved),
             "executor": {
                 "feature_memo_hits": self.feature_memo_hits,
                 "feature_memo_misses": self.feature_memo_misses,
@@ -565,6 +575,14 @@ class GraphQueryService:
                 if shard_stats
                 else {"length": 0, "version": 0, "floor_version": 0, "records_folded": 0}
             ),
+            kernel_resolved={
+                "configured": self.config.verifier.kernel,
+                "parent": engine.method.verifier.resolved_kernel_name(),
+                "workers": dict(executor_stats.worker_kernels) if executor_stats else {},
+                "shards": (
+                    dict(shard_stats["worker_kernels"]) if shard_stats else {}
+                ),
+            },
         )
 
     def reset_engine_stats(self) -> None:
