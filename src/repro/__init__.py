@@ -25,7 +25,9 @@ Public API overview
 
 * :mod:`repro.service` — :class:`~repro.service.GraphQueryService`, the
   session façade that owns engine lifecycle and is the intended public
-  entry point for applications.
+  entry point for applications; :func:`~repro.service.server.serve` /
+  :func:`~repro.service.client.connect` expose and reach it over a
+  versioned JSON wire protocol with per-tenant QoS.
 
 Quickstart
 ----------
@@ -45,7 +47,9 @@ from .core.config import (
     CacheConfig,
     ConfigError,
     EngineConfig,
+    ServiceConfig,
     ShardConfig,
+    TenantConfig,
     VerifierConfig,
 )
 from .core.engine import IGQ, IGQQueryResult
@@ -57,7 +61,17 @@ from .isomorphism.verifier import Verifier
 from .isomorphism.vf2 import is_subgraph_isomorphic
 from .methods import available_methods, create_method
 from .methods.base import QueryResult, SubgraphQueryMethod
-from .service import GraphQueryService, ServiceReport, ServiceSession, SessionStats
+from .service import (
+    AdmissionError,
+    GraphQueryService,
+    QueryTimeout,
+    ServiceClosed,
+    ServiceReport,
+    ServiceSession,
+    SessionStats,
+)
+from .service.client import ServiceClient, connect
+from .service.server import ServiceServer, serve
 from .workloads.generator import QueryGenerator, WorkloadSpec, standard_workloads
 
 __version__ = "1.0.0"
@@ -71,11 +85,20 @@ __all__ = [
     "VerifierConfig",
     "BatchConfig",
     "ShardConfig",
+    "ServiceConfig",
+    "TenantConfig",
     "ConfigError",
     "GraphQueryService",
+    "ServiceClosed",
+    "QueryTimeout",
+    "AdmissionError",
     "ServiceReport",
     "ServiceSession",
     "SessionStats",
+    "ServiceServer",
+    "ServiceClient",
+    "serve",
+    "connect",
     "GraphDatabase",
     "GraphError",
     "LabeledGraph",

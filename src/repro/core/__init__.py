@@ -13,7 +13,9 @@ from .config import (
     CacheConfig,
     ConfigError,
     EngineConfig,
+    ServiceConfig,
     ShardConfig,
+    TenantConfig,
     VerifierConfig,
 )
 from .containment import ContainmentIndex
@@ -47,6 +49,8 @@ __all__ = [
     "VerifierConfig",
     "BatchConfig",
     "ShardConfig",
+    "ServiceConfig",
+    "TenantConfig",
     "ConfigError",
     "ShardedIGQ",
     "CacheDelta",

@@ -54,6 +54,7 @@ from .config import (
 from .engine import IGQ, IGQQueryResult, QueryPlan
 
 __all__ = [
+    "ABORTED",
     "BACKENDS",
     "DRAIN",
     "BatchStats",
@@ -82,6 +83,28 @@ class _Drain:
 
 
 DRAIN = _Drain()
+
+
+class _Aborted:
+    """Sentinel result: a stream item's abort hook fired before execution.
+
+    Stream items may carry a third element — a zero-argument ``abort``
+    callable (the service passes the task future's ``done`` method).  The
+    executor calls it at the last moment before engine work starts; a truthy
+    return skips the query entirely (no planning, no cache writes, no stats)
+    and this sentinel is yielded in the item's position so a live driver can
+    keep its pending-task bookkeeping aligned with the result stream.  This
+    is what makes a timed-out-but-not-yet-executed submission free: the
+    engine never spends a verification on a future nobody can observe.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ABORTED>"
+
+
+ABORTED = _Aborted()
 
 #: accepted ``backend`` values; ``"auto"`` resolves to ``"process"`` when
 #: more than one worker is requested *and* the machine can actually run them
@@ -524,15 +547,28 @@ class BatchExecutor:
         for item in queries:
             if item is DRAIN:
                 continue
-            yield self._run_one(item)
+            query, supergraph, abort = self._task_of(item)
+            if abort is not None and abort():
+                yield ABORTED
+                continue
+            yield self._run_item(query, supergraph)
 
     def _pool_enabled(self) -> bool:
         return self.backend != "sequential" and self.num_workers > 1
 
-    def _task_of(self, item) -> tuple[LabeledGraph, bool]:
-        """Normalise a stream item to ``(query, supergraph)``."""
+    def _task_of(self, item) -> tuple[LabeledGraph, bool, object]:
+        """Normalise a stream item to ``(query, supergraph, abort)``.
+
+        Items are bare graphs, ``(query, mode)`` pairs, or ``(query, mode,
+        abort)`` triples with ``abort`` a zero-argument cancellation hook
+        (see :class:`_Aborted`).
+        """
+        abort = None
         if isinstance(item, tuple):
-            query, mode = item
+            if len(item) == 3:
+                query, mode, abort = item
+            else:
+                query, mode = item
         else:
             query, mode = item, None
         if mode is None:
@@ -546,7 +582,7 @@ class BatchExecutor:
         validate_query_mode(mode)
         if self.engine is not None:
             self.engine._require_mode(mode)
-        return query, mode == SUPERGRAPH_MODE
+        return query, mode == SUPERGRAPH_MODE, abort
 
     def _run_stream_pipelined(self, queries: Iterable) -> Iterator[IGQQueryResult]:
         """Pipelined plan/verify loop over an iGQ engine.
@@ -573,7 +609,16 @@ class BatchExecutor:
                     yield self._finish(pending)
                     pending = None
                 continue
-            query, supergraph = self._task_of(item)
+            query, supergraph, abort = self._task_of(item)
+            if abort is not None and abort():
+                # The abort sentinel must land in this item's stream
+                # position, so the in-flight predecessor is flushed first —
+                # one lost planning overlap, only on the (rare) abort path.
+                if pending is not None:
+                    yield self._finish(pending)
+                    pending = None
+                yield ABORTED
+                continue
             self.stats.queries += 1
             start = time.perf_counter()
             features = self._extract(query)
@@ -634,8 +679,7 @@ class BatchExecutor:
         result.filter_seconds += pending.extract_seconds
         return result
 
-    def _run_one(self, item) -> QueryResult:
-        query, supergraph = self._task_of(item)
+    def _run_item(self, query: LabeledGraph, supergraph: bool) -> QueryResult:
         self.stats.queries += 1
         # Extraction happens outside plan/filter, so its cost is folded back
         # into filter_seconds below — the per-query accounting must match the

@@ -12,7 +12,11 @@ accretion with a small tree of frozen dataclasses:
   fast-path / containment-layer A/B flags;
 * :class:`BatchConfig` — the batch executor (workers, backend, pipelining);
 * :class:`ShardConfig` — the sharded query index;
-* :class:`EngineConfig` — the composition of the four plus the query mode,
+* :class:`ServiceConfig` / :class:`TenantConfig` — the service front door:
+  per-tenant fairness weights, ``max_in_flight`` admission quotas, rate
+  limits and query timeouts consumed by the multi-tenant scheduler and the
+  network server;
+* :class:`EngineConfig` — the composition of the five plus the query mode,
   which is what :meth:`~repro.core.engine.IGQ.from_config`, the experiment
   runner and :class:`~repro.service.GraphQueryService` consume.
 
@@ -40,6 +44,8 @@ __all__ = [
     "VerifierConfig",
     "BatchConfig",
     "ShardConfig",
+    "TenantConfig",
+    "ServiceConfig",
     "EngineConfig",
     "validate_query_mode",
 ]
@@ -99,6 +105,15 @@ def _require_bool(section: str, name: str, value: Any) -> None:
     _require(
         isinstance(value, bool),
         f"{section}.{name}={value!r} is not valid; expected a bool",
+    )
+
+
+def _require_positive_number(section: str, name: str, value: Any) -> None:
+    _require(
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and value > 0,
+        f"{section}.{name}={value!r} is not valid; expected a number > 0",
     )
 
 
@@ -254,6 +269,109 @@ class ShardConfig:
 
 
 @dataclass(frozen=True)
+class TenantConfig:
+    """QoS envelope of one named tenant at the service front door.
+
+    Tenants are the unit of fairness: the service scheduler keeps one queue
+    per tenant and dispatches across them with deficit round-robin weighted
+    by :attr:`weight`, so one tenant's backlog can never starve another's
+    queries.  Sessions opened on the embedded
+    :class:`~repro.service.GraphQueryService` and ``tenant`` names sent over
+    the wire protocol both resolve to these entries (unnamed traffic runs
+    under the ``"default"`` tenant with the :class:`ServiceConfig`
+    defaults).
+    """
+
+    #: tenant name (what sessions and wire requests carry)
+    name: str = ""
+    #: deficit-round-robin weight: per dispatch round a tenant gets up to
+    #: ``weight`` queries before the scheduler moves on
+    weight: int = 1
+    #: admission quota — maximum submitted-but-unresolved queries; further
+    #: submissions block (embedded API) or are rejected (network front
+    #: door).  ``None`` uses ``service.default_max_in_flight``
+    max_in_flight: int | None = None
+    #: token-bucket rate limit in queries/second (``None`` = unlimited);
+    #: over-rate queries stay queued and dispatch when tokens refill
+    rate_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.name, str) and self.name,
+            f"service.tenants.name={self.name!r} is not valid; expected a "
+            "non-empty string",
+        )
+        _require_positive_int("service.tenants", "weight", self.weight)
+        if self.max_in_flight is not None:
+            _require_positive_int("service.tenants", "max_in_flight", self.max_in_flight)
+        if self.rate_limit is not None:
+            _require_positive_number("service.tenants", "rate_limit", self.rate_limit)
+            object.__setattr__(self, "rate_limit", float(self.rate_limit))
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The service front door: tenant QoS defaults and per-tenant overrides."""
+
+    #: fairness weight of tenants without an explicit :class:`TenantConfig`
+    default_weight: int = 1
+    #: admission quota of tenants without an explicit ``max_in_flight``
+    default_max_in_flight: int = 32
+    #: default per-query timeout in seconds (``None`` = no timeout); a
+    #: query that expires before dispatch is dropped unexecuted, one that
+    #: expires after dispatch fails its future but still completes in the
+    #: engine (cache state is never left half-updated)
+    default_timeout_seconds: float | None = None
+    #: per-tenant QoS overrides (any tenant not listed uses the defaults)
+    tenants: tuple = ()
+
+    def __post_init__(self) -> None:
+        _require_positive_int("service", "default_weight", self.default_weight)
+        _require_positive_int("service", "default_max_in_flight", self.default_max_in_flight)
+        if self.default_timeout_seconds is not None:
+            _require_positive_number(
+                "service", "default_timeout_seconds", self.default_timeout_seconds
+            )
+            object.__setattr__(
+                self, "default_timeout_seconds", float(self.default_timeout_seconds)
+            )
+        _require(
+            isinstance(self.tenants, (tuple, list)),
+            f"service.tenants={self.tenants!r} is not valid; expected a "
+            "sequence of TenantConfig entries (or their dict forms)",
+        )
+        coerced = tuple(
+            _from_dict(TenantConfig, entry, "service.tenants") for entry in self.tenants
+        )
+        names = [entry.name for entry in coerced]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        _require(
+            not duplicates,
+            f"service.tenants has duplicate tenant name(s) {duplicates}; "
+            "each tenant may be configured once",
+        )
+        object.__setattr__(self, "tenants", coerced)
+
+    def tenant(self, name: str) -> TenantConfig:
+        """The effective :class:`TenantConfig` for ``name`` (defaults filled)."""
+        for entry in self.tenants:
+            if entry.name == name:
+                if entry.max_in_flight is None:
+                    return TenantConfig(
+                        name=entry.name,
+                        weight=entry.weight,
+                        max_in_flight=self.default_max_in_flight,
+                        rate_limit=entry.rate_limit,
+                    )
+                return entry
+        return TenantConfig(
+            name=name,
+            weight=self.default_weight,
+            max_in_flight=self.default_max_in_flight,
+        )
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Everything needed to construct (and drive) an iGQ engine.
 
@@ -272,6 +390,7 @@ class EngineConfig:
     verifier: VerifierConfig = field(default_factory=VerifierConfig)
     batch: BatchConfig = field(default_factory=BatchConfig)
     shard: ShardConfig = field(default_factory=ShardConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
 
     def __post_init__(self) -> None:
         _require_choice("engine", "mode", self.mode, MODES)
@@ -331,4 +450,5 @@ _SECTIONS = {
     "verifier": VerifierConfig,
     "batch": BatchConfig,
     "shard": ShardConfig,
+    "service": ServiceConfig,
 }

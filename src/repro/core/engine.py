@@ -71,7 +71,8 @@ def _warn_legacy(kwargs: dict, stacklevel: int = 4) -> None:
         f"{name}= -> {_LEGACY_ENGINE_KWARGS.get(name, name)}" for name in sorted(kwargs)
     )
     warnings.warn(
-        f"flat engine kwargs are deprecated; build an EngineConfig instead ({mapping})",
+        f"flat engine kwargs are deprecated and will be removed in "
+        f"repro 2.0; build an EngineConfig instead ({mapping})",
         DeprecationWarning,
         stacklevel=stacklevel,
     )
@@ -736,8 +737,8 @@ class IGQ:
                 f"{name}= -> EngineConfig.batch.{name}" for name in sorted(overrides)
             )
             warnings.warn(
-                f"run_batch kwargs are deprecated; configure EngineConfig.batch "
-                f"instead ({mapping})",
+                f"run_batch kwargs are deprecated and will be removed in repro 2.0; "
+                f"configure EngineConfig.batch instead ({mapping})",
                 DeprecationWarning,
                 stacklevel=2,
             )

@@ -1402,8 +1402,8 @@ class ShardedIGQ(IGQ):
                     if field_name in shard_overrides
                 )
                 warnings.warn(
-                    f"flat shard kwargs are deprecated; build an EngineConfig "
-                    f"instead ({mapping})",
+                    f"flat shard kwargs are deprecated and will be removed in "
+                    f"repro 2.0; build an EngineConfig instead ({mapping})",
                     DeprecationWarning,
                     stacklevel=2,
                 )

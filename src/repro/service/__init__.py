@@ -8,8 +8,12 @@ supergraph queries, futures-based submission with bounded backpressure, and
 structured introspection (:class:`ServiceReport`).
 """
 
+from .client import ServiceClient, connect
+from .scheduler import AdmissionError, FairScheduler
+from .server import ServiceServer, serve
 from .service import (
     GraphQueryService,
+    QueryTimeout,
     ServiceClosed,
     ServiceReport,
     ServiceSession,
@@ -18,8 +22,15 @@ from .service import (
 
 __all__ = [
     "GraphQueryService",
+    "QueryTimeout",
     "ServiceClosed",
+    "AdmissionError",
+    "FairScheduler",
     "ServiceReport",
     "ServiceSession",
     "SessionStats",
+    "ServiceServer",
+    "ServiceClient",
+    "serve",
+    "connect",
 ]

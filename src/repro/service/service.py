@@ -27,6 +27,21 @@ a session object:
   plain sequential ``engine.query()`` loop — whatever the batch/shard
   configuration.
 
+* **Multi-tenant QoS** — sessions double as *tenants*: each session's
+  submissions land in that tenant's queue of a
+  :class:`~repro.service.scheduler.FairScheduler` (deficit round-robin with
+  per-tenant ``weight`` / ``max_in_flight`` / ``rate_limit`` from
+  :class:`~repro.core.config.ServiceConfig`), so one tenant's backlog cannot
+  starve another.  A lone tenant degenerates to plain FIFO — which is what
+  keeps single-stream answers and accounting byte-identical to the original
+  driver loop.
+
+* **Cancellation and timeouts** — ``Future.cancel()`` on a not-yet-started
+  submission removes it from its queue immediately (the driver never
+  executes it, its quota slot frees at once); ``submit(timeout=...)`` (or
+  ``ServiceConfig.default_timeout_seconds``) expires a submission with
+  :class:`QueryTimeout` whether it is still queued or already dispatched.
+
 * **Introspection** — :meth:`stats` returns a :class:`ServiceReport` (cache
   hit rates, per-stage timings, shard balance, per-session accounting);
   :meth:`session` opens named sub-accounts over the shared engine.
@@ -35,14 +50,13 @@ a session object:
 from __future__ import annotations
 
 import itertools
-import queue as queue_module
 import threading
 from collections import deque
 from collections.abc import Iterable, Iterator
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field, replace as dataclass_replace
 
-from ..core.batch import DRAIN, BatchExecutor
+from ..core.batch import ABORTED, DRAIN, BatchExecutor
 from ..core.config import (
     MIXED_MODE,
     SUPERGRAPH_MODE,
@@ -54,15 +68,33 @@ from ..core.engine import IGQ, IGQQueryResult
 from ..graphs.database import GraphDatabase
 from ..graphs.graph import LabeledGraph
 from ..methods.base import SubgraphQueryMethod
+from .scheduler import CLOSED, FairScheduler, SchedulerClosed
 
-__all__ = ["ServiceClosed", "SessionStats", "ServiceReport", "ServiceSession", "GraphQueryService"]
+__all__ = [
+    "ServiceClosed",
+    "QueryTimeout",
+    "SessionStats",
+    "ServiceReport",
+    "ServiceSession",
+    "GraphQueryService",
+]
 
-#: queue sentinel closing the driver's task stream
-_CLOSE = object()
+#: the tenant anonymous (session-less) submissions are accounted to
+DEFAULT_TENANT = "default"
 
 
 class ServiceClosed(RuntimeError):
     """The service is not open (never opened, closed, or driver failed)."""
+
+
+class QueryTimeout(TimeoutError):
+    """A submitted query expired before its result became observable.
+
+    Raised from the future of a submission whose deadline passed — whether
+    it was still queued (the scheduler drops it without executing) or
+    already dispatched (the engine finishes the work for cache consistency,
+    but the caller sees this instead of a late result).
+    """
 
 
 @dataclass
@@ -226,6 +258,14 @@ class _Task:
     mode: str
     future: Future
     session: SessionStats | None
+    #: tenant queue this task is scheduled under (session name or "default")
+    tenant: str = DEFAULT_TENANT
+    #: effective deadline in seconds (None = never expires)
+    timeout: float | None = None
+    #: expiry timer, armed before the task enters the scheduler
+    timer: threading.Timer | None = None
+    #: slot-release latch, owned by :meth:`FairScheduler.finish`
+    finalized: bool = False
 
 
 class ServiceSession:
@@ -247,9 +287,18 @@ class ServiceSession:
         """The session's label (as shown in service reports)."""
         return self.stats.name
 
-    def submit(self, query: LabeledGraph, mode: str | None = None) -> Future:
-        """Enqueue a query under this session's accounting."""
-        return self._service.submit(query, mode, session=self.stats)
+    def submit(
+        self,
+        query: LabeledGraph,
+        mode: str | None = None,
+        *,
+        timeout: float | None = None,
+        block: bool = True,
+    ) -> Future:
+        """Enqueue a query under this session's accounting and QoS tenant."""
+        return self._service.submit(
+            query, mode, session=self.stats, timeout=timeout, block=block
+        )
 
     def query(self, query: LabeledGraph, mode: str | None = None) -> IGQQueryResult:
         """Process one query synchronously under this session."""
@@ -290,8 +339,12 @@ class GraphQueryService:
         Dataset to index on :meth:`open`.  May be omitted when the method
         (or engine) already carries a built index.
     max_in_flight:
-        Backpressure bound: the maximum number of submitted-but-unresolved
-        queries; :meth:`submit` blocks once it is reached.
+        Per-tenant backpressure bound: the maximum number of
+        submitted-but-unresolved queries of one tenant; :meth:`submit`
+        blocks once it is reached.  Overrides
+        ``config.service.default_max_in_flight`` (tenants with an explicit
+        ``max_in_flight`` in :class:`~repro.core.config.ServiceConfig` keep
+        their own quota).
     """
 
     def __init__(
@@ -301,14 +354,14 @@ class GraphQueryService:
         *,
         engine: IGQ | None = None,
         database: GraphDatabase | None = None,
-        max_in_flight: int = 32,
+        max_in_flight: int | None = None,
     ) -> None:
         if (method is None) == (engine is None):
             raise ConfigError(
                 "pass exactly one of method= (with an optional config) or "
                 "engine= (a prebuilt IGQ/ShardedIGQ)"
             )
-        if max_in_flight < 1:
+        if max_in_flight is not None and max_in_flight < 1:
             raise ConfigError(
                 f"max_in_flight={max_in_flight!r} is not valid; expected an integer >= 1"
             )
@@ -321,12 +374,17 @@ class GraphQueryService:
         else:
             self.engine = IGQ.from_config(method, config)
         self.config = self.engine.config
-        self.max_in_flight = max_in_flight
+        service_config = self.config.service
+        if max_in_flight is not None:
+            service_config = dataclass_replace(
+                service_config, default_max_in_flight=max_in_flight
+            )
+        self.service_config = service_config
+        self.max_in_flight = service_config.default_max_in_flight
         self._database = database
         self._executor: BatchExecutor | None = None
-        self._queue: queue_module.Queue = queue_module.Queue()
+        self._scheduler = FairScheduler(service_config)
         self._driver: threading.Thread | None = None
-        self._slots = threading.BoundedSemaphore(max_in_flight)
         self._pending: deque[_Task] = deque()
         self._inflight = 0
         self._opened = False
@@ -378,18 +436,24 @@ class GraphQueryService:
                 return
             self._closed = True
             started = self._driver is not None
+        # Closing the scheduler rejects new submissions; the driver keeps
+        # dequeuing (drain mode ignores rate limits) until every queue is
+        # empty, then its task source sees CLOSED and ends the stream.
+        self._scheduler.close()
         if started:
-            self._queue.put(_CLOSE)
             self._driver.join()
             self._executor.close()
-        # Fail anything that raced into the queue behind the close marker.
+        # Fail anything left queued (a service that was never opened, or a
+        # driver that died before draining).
         while True:
-            try:
-                task = self._queue.get_nowait()
-            except queue_module.Empty:
+            task = self._scheduler.next(block=False)
+            if task is None or task is CLOSED:
                 break
-            if isinstance(task, _Task):
+            self._finalize(task)
+            try:
                 task.future.set_exception(ServiceClosed("service closed"))
+            except InvalidStateError:
+                pass
         self.engine.close()
 
     @property
@@ -412,35 +476,73 @@ class GraphQueryService:
         mode: str | None = None,
         *,
         session: SessionStats | None = None,
+        timeout: float | None = None,
+        block: bool = True,
     ) -> Future:
         """Enqueue one query; returns a future resolving to its result.
 
-        Queries execute strictly in submission order on the service driver
-        (concurrency lives inside the verification stage, per the engine's
-        batch/shard config), so the future of query *i* never resolves
-        after that of query *i+1*.  Blocks while ``max_in_flight``
-        submissions are outstanding — the service's backpressure.
+        Within a tenant, queries execute strictly in submission order; the
+        fair scheduler interleaves *across* tenants (weighted deficit
+        round-robin), so a single-tenant service behaves exactly like the
+        original FIFO driver.  Blocks while the tenant's ``max_in_flight``
+        submissions are outstanding — per-tenant backpressure —
+        or, with ``block=False``, raises
+        :class:`~repro.service.scheduler.AdmissionError` instead (what the
+        network server turns into an ``overloaded`` response).
+
+        ``timeout`` (defaulting to ``config.service.default_timeout_seconds``)
+        expires the submission with :class:`QueryTimeout`; ``Future.cancel()``
+        on a not-yet-started submission removes it from the queue.
         """
         mode = self._resolve_mode(mode)
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(
+                f"timeout={timeout!r} is not valid; expected a number > 0"
+            )
         if not self.is_open:
             if self._error is not None:
                 raise ServiceClosed("the service driver failed") from self._error
             raise ServiceClosed("the service is not open; use it as a context manager")
-        self._slots.acquire()
-        # Re-check under the state lock: close() drains the queue exactly
-        # once and _fail() sets _error before its drain, both ordered with
-        # this critical section — so a task either lands in the queue while
-        # a consumer (driver drain included) is still coming, or the
-        # submission fails fast here; it can never be enqueued and orphaned.
-        with self._state_lock:
-            if self._closed:
-                self._slots.release()
-                raise ServiceClosed("the service closed while the submission waited")
+        tenant = session.name if session is not None else DEFAULT_TENANT
+        effective_timeout = (
+            timeout if timeout is not None
+            else self.service_config.default_timeout_seconds
+        )
+        future: Future = Future()
+        task = _Task(
+            query=query,
+            mode=mode,
+            future=future,
+            session=session,
+            tenant=tenant,
+            timeout=effective_timeout,
+        )
+        # Arm the expiry timer before the task can be dequeued, so the
+        # driver always observes a fully-formed task.  The deadline covers
+        # admission waiting too: a submission stuck behind its tenant's
+        # quota can expire while still blocked here.
+        if effective_timeout is not None:
+            task.timer = threading.Timer(effective_timeout, self._expire, (task,))
+            task.timer.daemon = True
+            task.timer.start()
+        try:
+            # The scheduler atomically checks closed-ness with the enqueue:
+            # a task either lands in a queue the driver is still draining,
+            # or the submission fails fast — never enqueued and orphaned.
+            self._scheduler.submit(task, block=block)
+        except SchedulerClosed:
+            if task.timer is not None:
+                task.timer.cancel()
             if self._error is not None:
-                self._slots.release()
                 raise ServiceClosed("the service driver failed") from self._error
-            future: Future = Future()
-            self._queue.put(_Task(query=query, mode=mode, future=future, session=session))
+            raise ServiceClosed(
+                "the service closed while the submission waited"
+            ) from None
+        except BaseException:
+            if task.timer is not None:
+                task.timer.cancel()
+            raise
+        future.add_done_callback(lambda done_future: self._on_done(task, done_future))
         return future
 
     def query(
@@ -512,16 +614,30 @@ class GraphQueryService:
     # ------------------------------------------------------------------
     # Sessions and introspection
     # ------------------------------------------------------------------
-    def session(self, name: str | None = None) -> ServiceSession:
-        """Open a named accounting scope sharing this service's engine."""
+    def session(self, name: str | None = None, *, exist_ok: bool = False) -> ServiceSession:
+        """Open a named accounting scope sharing this service's engine.
+
+        The session's name is also its *tenant* identity: submissions made
+        through it are scheduled on that tenant's queue with the weight,
+        quota and rate limit :class:`~repro.core.config.ServiceConfig`
+        assigns.  ``exist_ok=True`` returns the existing scope instead of
+        raising (what the network server uses — every connection of a
+        tenant shares one accounting scope).
+        """
         with self._stats_lock:
             if name is None:
                 name = f"session-{next(self._session_counter)}"
             if name in self._sessions:
+                if exist_ok:
+                    return ServiceSession(self, self._sessions[name])
                 raise ValueError(f"session {name!r} already exists")
             stats = SessionStats(name=name)
             self._sessions[name] = stats
         return ServiceSession(self, stats)
+
+    def scheduler_snapshot(self) -> dict:
+        """Per-tenant queue depth, in-flight count and QoS knobs."""
+        return self._scheduler.snapshot()
 
     def stats(self) -> ServiceReport:
         """A structured snapshot of cache, executor and session state."""
@@ -602,37 +718,48 @@ class GraphQueryService:
         """Single driver thread: feed the executor, resolve futures in order."""
         try:
             for result in self._executor.run_stream(self._task_source()):
-                self._resolve(result)
+                if result is ABORTED:
+                    self._resolve_aborted()
+                else:
+                    self._resolve(result)
         except BaseException as exc:  # noqa: BLE001 - must reach the futures
             self._fail(exc)
 
     def _task_source(self) -> Iterator:
-        """Yield executor stream items from the submission queue.
+        """Yield executor stream items dequeued by the fair scheduler.
 
         The executor asks for the next item *before* completing the one in
         flight (that is what lets it plan ahead); a caller waiting on the
-        in-flight future may never submit again, so when the queue is empty
-        while something is dispatched this yields :data:`DRAIN`, telling the
-        executor to finish and emit the pending query instead of blocking.
+        in-flight future may never submit again, so when no task is
+        dispatchable while something is in flight this yields :data:`DRAIN`,
+        telling the executor to finish and emit the pending query instead of
+        blocking.  Each dispatched item carries ``future.done`` as its abort
+        hook — a query that times out between dispatch and execution is
+        skipped by the executor instead of burning a verification.
         """
         while True:
             if self._inflight:
-                try:
-                    task = self._queue.get_nowait()
-                except queue_module.Empty:
+                task = self._scheduler.next(block=False)
+                if task is None:
                     yield DRAIN
                     continue
             else:
-                task = self._queue.get()
-            if task is _CLOSE:
+                task = self._scheduler.next(block=True)
+            if task is CLOSED:
                 return
-            if not task.future.set_running_or_notify_cancel():
-                # Cancelled before execution; hand its slot back.
-                self._slots.release()
+            try:
+                started = task.future.set_running_or_notify_cancel()
+            except InvalidStateError:
+                # The expiry timer beat the dispatch; the future already
+                # carries QueryTimeout.
+                started = False
+            if not started:
+                # Cancelled or expired before execution; hand its slot back.
+                self._finalize(task)
                 continue
             self._pending.append(task)
             self._inflight += 1
-            yield (task.query, task.mode)
+            yield (task.query, task.mode, task.future.done)
 
     def _resolve(self, result: IGQQueryResult) -> None:
         task = self._pending.popleft()
@@ -642,32 +769,74 @@ class GraphQueryService:
             self.totals.record(result, supergraph)
             if task.session is not None:
                 task.session.record(result, supergraph)
-        self._slots.release()
-        task.future.set_result(result)
+        self._finalize(task)
+        try:
+            task.future.set_result(result)
+        except InvalidStateError:
+            # Expired mid-execution: the engine state advanced (and was
+            # accounted above), but the caller already saw QueryTimeout.
+            pass
+
+    def _resolve_aborted(self) -> None:
+        """The executor skipped the head-of-line task (its future was done)."""
+        task = self._pending.popleft()
+        self._inflight -= 1
+        self._finalize(task)
+
+    def _finalize(self, task: _Task) -> None:
+        """Release the task's expiry timer and tenant slot (idempotent)."""
+        if task.timer is not None:
+            task.timer.cancel()
+        self._scheduler.finish(task)
+
+    def _expire(self, task: _Task) -> None:
+        """Timer callback: the task's deadline passed."""
+        removed = self._scheduler.discard(task)
+        try:
+            task.future.set_exception(
+                QueryTimeout(
+                    f"query {task.query.name!r} timed out after {task.timeout}s"
+                )
+            )
+        except InvalidStateError:
+            # Resolved or cancelled concurrently — nothing expired.
+            pass
+        if removed:
+            self._finalize(task)
+
+    def _on_done(self, task: _Task, future: Future) -> None:
+        """Future done-callback: reclaim the queue slot of a cancellation."""
+        if not future.cancelled():
+            return
+        if self._scheduler.discard(task):
+            self._finalize(task)
 
     def _fail(self, exc: BaseException) -> None:
         """Driver died: surface the error on every outstanding future."""
-        # Publish the error under the state lock so it orders with submit()'s
-        # enqueue: every task enqueued before this point is still in the
-        # queue when the drain below runs, and no task can be enqueued after
-        # it (submit re-checks _error in the same critical section).  The
-        # drain itself runs outside the lock — set_exception may invoke
-        # caller-supplied done-callbacks.
+        # Publish the error before closing the scheduler: a submitter that
+        # races past is_open either lands its task in a queue this drain
+        # still empties, or SchedulerClosed makes its submit() raise — it
+        # can never be enqueued and orphaned.
         with self._state_lock:
             self._error = exc
+        self._scheduler.close()
         while self._pending:
             task = self._pending.popleft()
             self._inflight -= 1
-            self._slots.release()
-            task.future.set_exception(exc)
-        while True:
+            self._finalize(task)
             try:
-                task = self._queue.get_nowait()
-            except queue_module.Empty:
-                break
-            if isinstance(task, _Task):
-                self._slots.release()
                 task.future.set_exception(exc)
+            except InvalidStateError:
+                pass
+        while True:
+            task = self._scheduler.next(block=False)
+            if task is None or task is CLOSED:
+                break
+            self._finalize(task)
+            try:
+                task.future.set_exception(exc)
+            except InvalidStateError:
+                pass
 
     def __repr__(self) -> str:
         state = "open" if self.is_open else ("closed" if self._closed else "new")

@@ -77,8 +77,45 @@ class TestConfigurationReference:
                 )
 
 
+class TestPublicSurface:
+    """The Public API section of the configuration reference mirrors
+    ``repro.__all__`` exactly, in both directions."""
+
+    def listed_names(self) -> set[str]:
+        text = CONFIGURATION_MD.read_text(encoding="utf-8")
+        match = re.search(r"## Public API\n(.*?)(?=\n## )", text, re.DOTALL)
+        assert match, "docs/configuration.md has no '## Public API' section"
+        return set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`", match.group(1)))
+
+    def test_every_export_is_documented(self):
+        import repro
+
+        missing = set(repro.__all__) - self.listed_names()
+        assert not missing, (
+            f"repro.__all__ names missing from the Public API section of "
+            f"docs/configuration.md: {sorted(missing)}"
+        )
+
+    def test_no_phantom_exports_documented(self):
+        import repro
+
+        # the prose legitimately mentions the package and the list itself
+        known = set(repro.__all__) | {"repro", "__all__"}
+        phantom = self.listed_names() - known
+        assert not phantom, (
+            f"docs/configuration.md lists names that repro does not export: "
+            f"{sorted(phantom)}"
+        )
+
+
 class TestHandbookStructure:
-    PAGES = ("architecture.md", "performance.md", "configuration.md", "operations.md")
+    PAGES = (
+        "architecture.md",
+        "performance.md",
+        "configuration.md",
+        "operations.md",
+        "service.md",
+    )
 
     def test_all_pages_exist(self):
         for page in self.PAGES:

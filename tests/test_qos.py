@@ -1,0 +1,353 @@
+"""Multi-tenant QoS: fair scheduling, quotas, rate limits, cancel, timeouts.
+
+Two layers:
+
+* :class:`~repro.service.scheduler.FairScheduler` unit tests drive the
+  deficit round-robin dispatcher with a fake clock — dispatch order,
+  weighting, token-bucket rate limiting, quota admission and drain
+  semantics are all deterministic;
+* service-level tests run a real engine and assert the user-visible
+  contracts: a flooding tenant cannot starve a light one, ``Future.cancel``
+  on a queued submission prevents its execution, and deadlines expire
+  submissions with :class:`~repro.service.QueryTimeout`.
+"""
+
+from __future__ import annotations
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import CacheConfig, EngineConfig
+from repro.core.config import ConfigError, ServiceConfig, TenantConfig
+from repro.datasets.registry import load_dataset
+from repro.methods import create_method
+from repro.service import (
+    AdmissionError,
+    FairScheduler,
+    GraphQueryService,
+    QueryTimeout,
+)
+from repro.service.scheduler import CLOSED, SchedulerClosed
+from repro.workloads.generator import QueryGenerator, WorkloadSpec
+
+pytestmark = pytest.mark.filterwarnings("error::DeprecationWarning")
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_scheduler(clock=None, **service_kwargs) -> FairScheduler:
+    return FairScheduler(
+        ServiceConfig(**service_kwargs), clock=clock or FakeClock()
+    )
+
+
+def task_for(tenant: str, tag: int = 0) -> SimpleNamespace:
+    return SimpleNamespace(tenant=tenant, tag=tag, finalized=False)
+
+
+def drain_tags(scheduler: FairScheduler) -> list[tuple[str, int]]:
+    order = []
+    while True:
+        task = scheduler.next(block=False)
+        if task is None or task is CLOSED:
+            return order
+        order.append((task.tenant, task.tag))
+        scheduler.finish(task)
+
+
+class TestFairScheduler:
+    def test_single_tenant_is_fifo(self):
+        scheduler = make_scheduler()
+        for tag in range(6):
+            scheduler.submit(task_for("default", tag))
+        assert drain_tags(scheduler) == [("default", tag) for tag in range(6)]
+
+    def test_deficit_round_robin_respects_weights(self):
+        scheduler = make_scheduler(
+            tenants=({"name": "heavy", "weight": 3}, {"name": "light", "weight": 1})
+        )
+        for tag in range(9):
+            scheduler.submit(task_for("heavy", tag))
+        for tag in range(3):
+            scheduler.submit(task_for("light", tag))
+        tenants = [tenant for tenant, _ in drain_tags(scheduler)]
+        # 3 heavy dispatches per light one, and each tenant's own order FIFO.
+        assert tenants == ["heavy"] * 3 + ["light"] + ["heavy"] * 3 + ["light"] + [
+            "heavy"
+        ] * 3 + ["light"]
+
+    def test_backlogged_tenant_cannot_starve_a_newcomer(self):
+        scheduler = make_scheduler(tenants=({"name": "hog", "max_in_flight": 64},))
+        for tag in range(50):
+            scheduler.submit(task_for("hog", tag))
+        scheduler.submit(task_for("fast", 0))
+        served_before_fast = 0
+        while True:
+            task = scheduler.next(block=False)
+            if task.tenant == "fast":
+                break
+            served_before_fast += 1
+            scheduler.finish(task)
+        # The cursor reaches the newcomer within one round, not after 50.
+        assert served_before_fast <= 2
+
+    def test_rate_limit_blocks_and_refills(self):
+        clock = FakeClock()
+        scheduler = make_scheduler(
+            clock, tenants=({"name": "metered", "rate_limit": 2.0},)
+        )
+        for tag in range(4):
+            scheduler.submit(task_for("metered", tag))
+        # burst of max(1, rate)=2 tokens, then the bucket is dry
+        assert scheduler.next(block=False).tag == 0
+        assert scheduler.next(block=False).tag == 1
+        assert scheduler.next(block=False) is None
+        clock.advance(0.5)  # one token at 2/sec
+        assert scheduler.next(block=False).tag == 2
+        assert scheduler.next(block=False) is None
+        clock.advance(10.0)
+        assert scheduler.next(block=False).tag == 3
+
+    def test_rate_limited_tenant_does_not_block_others(self):
+        clock = FakeClock()
+        scheduler = make_scheduler(
+            clock, tenants=({"name": "metered", "rate_limit": 1.0},)
+        )
+        for tag in range(3):
+            scheduler.submit(task_for("metered", tag))
+        scheduler.submit(task_for("free", 0))
+        scheduler.submit(task_for("free", 1))
+        assert scheduler.next(block=False).tenant == "metered"  # burst token
+        # metered is dry now; the free tenant keeps being served
+        assert scheduler.next(block=False).tenant == "free"
+        assert scheduler.next(block=False).tenant == "free"
+        assert scheduler.next(block=False) is None
+
+    def test_quota_admission_blocking_and_not(self):
+        scheduler = make_scheduler(tenants=({"name": "t", "max_in_flight": 2},))
+        first = task_for("t", 0)
+        scheduler.submit(first)
+        scheduler.submit(task_for("t", 1))
+        with pytest.raises(AdmissionError, match="max_in_flight=2"):
+            scheduler.submit(task_for("t", 2), block=False)
+        # the quota releases on finish(), not on dequeue
+        assert scheduler.next(block=False) is first
+        with pytest.raises(AdmissionError):
+            scheduler.submit(task_for("t", 2), block=False)
+        scheduler.finish(first)
+        scheduler.submit(task_for("t", 2), block=False)
+
+    def test_blocking_submit_wakes_on_slot_release(self):
+        scheduler = make_scheduler(tenants=({"name": "t", "max_in_flight": 1},))
+        first = task_for("t", 0)
+        scheduler.submit(first)
+        submitted = threading.Event()
+
+        def blocked_submit():
+            scheduler.submit(task_for("t", 1))
+            submitted.set()
+
+        thread = threading.Thread(target=blocked_submit)
+        thread.start()
+        assert not submitted.wait(0.1)
+        assert scheduler.next(block=False) is first
+        scheduler.finish(first)
+        assert submitted.wait(5.0)
+        thread.join()
+
+    def test_finish_is_idempotent(self):
+        scheduler = make_scheduler(tenants=({"name": "t", "max_in_flight": 1},))
+        task = scheduler_task = task_for("t")
+        scheduler.submit(scheduler_task)
+        assert scheduler.next(block=False) is task
+        scheduler.finish(task)
+        scheduler.finish(task)
+        assert scheduler.snapshot()["t"]["in_flight"] == 0
+
+    def test_discard_removes_only_queued_tasks(self):
+        scheduler = make_scheduler()
+        first, second = task_for("default", 0), task_for("default", 1)
+        scheduler.submit(first)
+        scheduler.submit(second)
+        assert scheduler.discard(second) is True
+        assert scheduler.discard(second) is False  # already gone
+        dequeued = scheduler.next(block=False)
+        assert dequeued is first
+        assert scheduler.discard(first) is False  # already dispatched
+        assert scheduler.next(block=False) is None
+
+    def test_close_drains_ignoring_rate_limits_then_reports_closed(self):
+        clock = FakeClock()
+        scheduler = make_scheduler(
+            clock, tenants=({"name": "metered", "rate_limit": 0.001},)
+        )
+        scheduler.submit(task_for("metered", 0))
+        scheduler.submit(task_for("metered", 1))
+        assert scheduler.next(block=False).tag == 0  # the burst token
+        assert scheduler.next(block=False) is None  # rate-blocked
+        scheduler.close()
+        assert scheduler.next(block=False).tag == 1  # drain ignores the bucket
+        assert scheduler.next(block=False) is CLOSED
+        with pytest.raises(SchedulerClosed):
+            scheduler.submit(task_for("metered", 2))
+
+    def test_snapshot_reports_qos_knobs(self):
+        scheduler = make_scheduler(
+            default_weight=2,
+            tenants=({"name": "vip", "weight": 8, "rate_limit": 100.0},),
+        )
+        scheduler.submit(task_for("vip"))
+        scheduler.submit(task_for("anon"))
+        snapshot = scheduler.snapshot()
+        assert snapshot["vip"] == {
+            "queued": 1, "in_flight": 1, "weight": 8,
+            "max_in_flight": 32, "rate_limit": 100.0,
+        }
+        assert snapshot["anon"]["weight"] == 2
+
+
+@pytest.fixture(scope="module")
+def database():
+    return load_dataset("synthetic", scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def query_pool(database):
+    spec = WorkloadSpec(
+        name="zipf", graph_distribution="zipf", node_distribution="zipf",
+        alpha=1.2, seed=23,
+    )
+    return QueryGenerator(database, spec).generate(12)
+
+
+def qos_service(database, **service_kwargs) -> GraphQueryService:
+    config = EngineConfig(
+        cache=CacheConfig(size=10, window=3),
+        service=ServiceConfig(**service_kwargs),
+    )
+    return GraphQueryService(
+        create_method("ggsx", max_path_length=3), config, database=database
+    )
+
+
+class TestServiceQoS:
+    def test_flooding_tenant_does_not_starve_fast_tenant(self, database, query_pool):
+        hog_backlog, fast_count = 20, 5
+        with qos_service(
+            database,
+            tenants=(
+                TenantConfig(name="hog", weight=1),
+                TenantConfig(name="fast", weight=4),
+            ),
+        ) as service:
+            hog = service.session("hog")
+            fast = service.session("fast")
+            hog_futures = [
+                hog.submit(query_pool[index % len(query_pool)])
+                for index in range(hog_backlog)
+            ]
+            fast_futures = [
+                fast.submit(query_pool[index]) for index in range(fast_count)
+            ]
+            for future in fast_futures:
+                future.result(timeout=120)
+            # The weighted scheduler interleaved the light tenant ahead of
+            # the flood: a chunk of the hog's backlog must still be waiting
+            # when the fast tenant's last answer arrives.
+            hog_unfinished = sum(not future.done() for future in hog_futures)
+            assert hog_unfinished >= 5
+            for future in hog_futures:
+                future.result(timeout=120)
+            report = service.stats()
+            assert report.sessions["hog"].queries == hog_backlog
+            assert report.sessions["fast"].queries == fast_count
+            assert report.totals.queries == hog_backlog + fast_count
+
+    def test_cancel_before_dispatch_removes_from_queue(self, database, query_pool):
+        # rate_limit < 1 gives a single-token burst: the second submission
+        # is deterministically still queued when we cancel it.
+        with qos_service(
+            database, tenants=(TenantConfig(name="metered", rate_limit=0.5),)
+        ) as service:
+            session = service.session("metered")
+            first = session.submit(query_pool[0])
+            second = session.submit(query_pool[1])
+            assert second.cancel()
+            assert second.cancelled()
+            first.result(timeout=120)
+            assert service.scheduler_snapshot()["metered"]["queued"] == 0
+            assert service.scheduler_snapshot()["metered"]["in_flight"] == 0
+            report = service.stats()
+            # the cancelled query never reached the engine
+            assert report.totals.queries == 1
+
+    def test_cancel_frees_the_tenant_quota_slot(self, database, query_pool):
+        with qos_service(
+            database,
+            tenants=(
+                TenantConfig(name="metered", rate_limit=0.5, max_in_flight=2),
+            ),
+        ) as service:
+            session = service.session("metered")
+            # burn the single burst token so later submissions stay queued
+            session.submit(query_pool[0]).result(timeout=120)
+            second = session.submit(query_pool[1])
+            third = session.submit(query_pool[2])
+            with pytest.raises(AdmissionError, match="max_in_flight=2"):
+                session.submit(query_pool[3], block=False)
+            assert second.cancel()
+            # the freed slot admits a new submission at once
+            fourth = session.submit(query_pool[3], block=False)
+            assert fourth.cancel()
+            assert third.cancel()
+
+    def test_timeout_expires_queued_submission(self, database, query_pool):
+        with qos_service(
+            database, tenants=(TenantConfig(name="metered", rate_limit=0.5),)
+        ) as service:
+            session = service.session("metered")
+            first = session.submit(query_pool[0])
+            second = session.submit(query_pool[1], timeout=0.05)
+            with pytest.raises(QueryTimeout, match="timed out after 0.05s"):
+                second.result(timeout=120)
+            first.result(timeout=120)
+            assert service.stats().totals.queries == 1
+
+    def test_default_timeout_from_service_config(self, database, query_pool):
+        with qos_service(
+            database,
+            default_timeout_seconds=0.05,
+            tenants=(TenantConfig(name="metered", rate_limit=0.5),),
+        ) as service:
+            session = service.session("metered")
+            session.submit(query_pool[0])
+            second = session.submit(query_pool[1])
+            with pytest.raises(QueryTimeout):
+                second.result(timeout=120)
+
+    def test_invalid_timeout_rejected(self, database, query_pool):
+        with qos_service(database) as service:
+            with pytest.raises(ConfigError, match="timeout=0"):
+                service.submit(query_pool[0], timeout=0)
+
+    def test_service_still_serves_after_timeouts_and_cancels(
+        self, database, query_pool
+    ):
+        with qos_service(database) as service:
+            with pytest.raises(QueryTimeout):
+                # expires pre- or mid-execution, whichever the race decides;
+                # either way the caller sees QueryTimeout, not a late result
+                service.submit(query_pool[0], timeout=0.000001).result(timeout=120)
+            result = service.query(query_pool[1])
+            assert result.query_name == query_pool[1].name
