@@ -1,0 +1,299 @@
+"""Benchmark: crash durability of the persist subsystem, CI-gated.
+
+A child process runs a persistent engine (``persist.dir`` set, WAL fsynced
+per window flush) over a deterministic Zipf-skewed query stream, reporting
+every window flush on stdout.  The parent **SIGKILLs** it mid-stream — no
+atexit hooks, no flushing, the exact failure mode the WAL exists for — and
+then warm-starts an engine from the same directory.  The run **fails** if
+
+* the recovered query counter is not a window-flush boundary (a torn or
+  half-applied WAL batch leaked into the visible state),
+* the warm engine's answers or cache state diverge anywhere from a
+  never-killed reference engine fed the same stream (byte-identity leg), or
+* the warm engine's hit rate over its *first* post-restart flush window
+  falls below ``--min-hit-ratio`` (default 0.8) of the steady-state hit
+  rate the reference engine sees on the same window.
+
+A cold engine's hit rate on that window is also recorded — the gap between
+cold and warm is what the snapshot + WAL replay buys.
+
+Run directly::
+
+    python benchmarks/bench_persist.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import IGQ, CacheConfig, EngineConfig  # noqa: E402
+from repro.core.config import PersistConfig  # noqa: E402
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.methods import create_method  # noqa: E402
+from repro.workloads.generator import QueryGenerator, WorkloadSpec  # noqa: E402
+
+
+def build_stream(database, args) -> list:
+    """The deterministic query stream both processes derive independently."""
+    spec = WorkloadSpec(
+        name="zipf-zipf",
+        graph_distribution="zipf",
+        node_distribution="zipf",
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    pool = QueryGenerator(database, spec).generate(args.distinct)
+    rng = random.Random(args.seed + 1)
+    return [
+        pool[min(int(rng.paretovariate(args.alpha)) - 1, len(pool) - 1)]
+        for _ in range(args.stream)
+    ]
+
+
+def build_engine(database, args, persist_dir=None) -> IGQ:
+    config = EngineConfig(
+        cache=CacheConfig(size=args.cache_size, window=args.window_size),
+        persist=(
+            PersistConfig(dir=persist_dir, fsync="flush")
+            if persist_dir is not None
+            else PersistConfig()
+        ),
+    )
+    engine = IGQ.from_config(
+        create_method("ggsx", max_path_length=args.max_path_length), config
+    )
+    engine.build_index(database)
+    return engine
+
+
+def fingerprint(engine, results) -> tuple:
+    """Everything the byte-identity gate compares."""
+    answers = [tuple(sorted(map(repr, result.answers))) for result in results]
+    accounting = [
+        (result.num_sub_hits, result.num_super_hits, result.exact_hit)
+        for result in results
+    ]
+    cache_state = sorted(
+        (
+            entry.entry_id,
+            entry.graph.name,
+            tuple(sorted(map(repr, entry.answer))),
+            entry.hits,
+            entry.removed,
+            round(entry.alleviated_cost, 9),
+            entry.added_at,
+        )
+        for entry in engine.cache.entries()
+    )
+    return (answers, accounting, cache_state)
+
+
+def hit_rate(results) -> float:
+    hits = sum(
+        1
+        for result in results
+        if result.exact_hit or result.num_sub_hits or result.num_super_hits
+    )
+    return hits / len(results) if results else 0.0
+
+
+# ----------------------------------------------------------------------
+# Child: the process that gets killed
+# ----------------------------------------------------------------------
+def run_child(args) -> int:
+    database = load_dataset(args.dataset, scale=args.scale)
+    stream = build_stream(database, args)
+    engine = build_engine(database, args, persist_dir=args.dir)
+    for index, query in enumerate(stream):
+        engine.query(query)
+        if (index + 1) % args.window_size == 0:
+            # One line per durable flush; the parent counts these to pick
+            # its kill point, so they must hit the pipe immediately.
+            print(f"FLUSH {index + 1}", flush=True)
+    print("DONE", flush=True)
+    return 0
+
+
+def spawn_and_kill(args, persist_dir: str) -> int:
+    """Run the child, SIGKILL it after ``--kill-after`` flushes."""
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            os.path.abspath(__file__),
+            "--child",
+            "--dir",
+            persist_dir,
+            "--dataset",
+            args.dataset,
+            "--scale",
+            str(args.scale),
+            "--stream",
+            str(args.stream),
+            "--distinct",
+            str(args.distinct),
+            "--cache-size",
+            str(args.cache_size),
+            "--window-size",
+            str(args.window_size),
+            "--max-path-length",
+            str(args.max_path_length),
+            "--alpha",
+            str(args.alpha),
+            "--seed",
+            str(args.seed),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    flushes = 0
+    try:
+        for line in child.stdout:
+            if line.startswith("FLUSH"):
+                flushes += 1
+                if flushes >= args.kill_after:
+                    child.kill()  # SIGKILL: no cleanup of any kind runs
+                    break
+            elif line.startswith("DONE"):
+                raise RuntimeError(
+                    "the child finished the whole stream before the kill "
+                    "point; raise --stream or lower --kill-after"
+                )
+    finally:
+        try:
+            child.kill()
+        except OSError:
+            pass
+        child.wait()
+        child.stdout.close()
+    return flushes
+
+
+# ----------------------------------------------------------------------
+# Parent: recovery measurement
+# ----------------------------------------------------------------------
+def run_benchmark(args) -> dict:
+    database = load_dataset(args.dataset, scale=args.scale)
+    stream = build_stream(database, args)
+
+    persist_dir = tempfile.mkdtemp(prefix="bench-persist-")
+    flushes_seen = spawn_and_kill(args, persist_dir)
+
+    restart_started = time.perf_counter()
+    warm = build_engine(database, args, persist_dir=persist_dir)
+    restart_seconds = time.perf_counter() - restart_started
+    recovered = warm.cache.query_counter
+    boundary_ok = recovered > 0 and recovered % args.window_size == 0
+
+    # Never-killed reference: the same stream prefix on one engine.
+    reference = build_engine(database, args)
+    for query in stream[:recovered]:
+        reference.query(query)
+
+    window = stream[recovered : recovered + args.window_size]
+    continuation = stream[recovered : recovered + 3 * args.window_size]
+    warm_results = [warm.query(query) for query in continuation]
+    reference_results = [reference.query(query) for query in continuation]
+    identical = fingerprint(warm, warm_results) == fingerprint(
+        reference, reference_results
+    )
+
+    warm_window_rate = hit_rate(warm_results[: len(window)])
+    steady_window_rate = hit_rate(reference_results[: len(window)])
+
+    # Cold contrast: what that window looks like with no recovered state.
+    cold = build_engine(database, args)
+    cold_window_rate = hit_rate([cold.query(query) for query in window])
+
+    warm.close()
+    reference.close()
+    cold.close()
+
+    ratio = (
+        warm_window_rate / steady_window_rate if steady_window_rate > 0 else 1.0
+    )
+    return {
+        "dataset": args.dataset,
+        "stream_length": len(stream),
+        "distinct_queries": args.distinct,
+        "cache_size": args.cache_size,
+        "window_size": args.window_size,
+        "kill_after_flushes": args.kill_after,
+        "flushes_before_kill": flushes_seen,
+        "queries_recovered": recovered,
+        "recovered_on_flush_boundary": boundary_ok,
+        "restart_seconds": round(restart_seconds, 4),
+        "warm_first_window_hit_rate": round(warm_window_rate, 4),
+        "steady_state_hit_rate": round(steady_window_rate, 4),
+        "cold_first_window_hit_rate": round(cold_window_rate, 4),
+        "warm_to_steady_ratio": round(ratio, 4),
+        "min_hit_ratio_gate": args.min_hit_ratio,
+        "answers_identical": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--dir", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--dataset", default="synthetic")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--max-path-length", type=int, default=3)
+    parser.add_argument("--stream", type=int, default=240,
+                        help="total deterministic query stream length")
+    parser.add_argument("--distinct", type=int, default=20)
+    parser.add_argument("--cache-size", type=int, default=40)
+    parser.add_argument("--window-size", type=int, default=10)
+    parser.add_argument("--kill-after", type=int, default=12,
+                        help="SIGKILL the child after this many window flushes")
+    parser.add_argument("--alpha", type=float, default=1.4)
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument("--min-hit-ratio", type=float, default=0.8)
+    parser.add_argument("--output", default=None, help="write the JSON result here too")
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return run_child(args)
+
+    result = run_benchmark(args)
+    text = json.dumps(result, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    failed = False
+    if not result["recovered_on_flush_boundary"]:
+        print(
+            f"FAIL: recovered query counter {result['queries_recovered']} is "
+            "not a window-flush boundary",
+            file=sys.stderr,
+        )
+        failed = True
+    if not result["answers_identical"]:
+        print(
+            "FAIL: post-restart answers diverge from the never-killed engine",
+            file=sys.stderr,
+        )
+        failed = True
+    if result["warm_to_steady_ratio"] < args.min_hit_ratio:
+        print(
+            f"FAIL: warm first-window hit rate is only "
+            f"{result['warm_to_steady_ratio']}x steady state, below the "
+            f"{args.min_hit_ratio}x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

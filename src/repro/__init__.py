@@ -47,6 +47,7 @@ from .core.config import (
     CacheConfig,
     ConfigError,
     EngineConfig,
+    PersistConfig,
     ServiceConfig,
     ShardConfig,
     TenantConfig,
@@ -87,6 +88,7 @@ __all__ = [
     "ShardConfig",
     "ServiceConfig",
     "TenantConfig",
+    "PersistConfig",
     "ConfigError",
     "GraphQueryService",
     "ServiceClosed",

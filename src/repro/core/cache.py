@@ -121,6 +121,58 @@ class QueryCache:
         self._next_id += 1
         return entry
 
+    def restore_entry(
+        self,
+        entry_id: int,
+        graph: LabeledGraph,
+        features: GraphFeatures,
+        answer: frozenset | set,
+        added_at: int,
+        tags: dict | None = None,
+        *,
+        hits: int = 0,
+        removed: int = 0,
+        alleviated_cost: float = 0.0,
+        compiled_target: object | None = None,
+        compiled_plan: object | None = None,
+    ) -> CacheEntry:
+        """Reinstall an entry under its *original* id and metadata.
+
+        The warm-restart path (:mod:`repro.persist`): unlike :meth:`add`,
+        the caller supplies the id, the insertion counter and the §5.1
+        replacement statistics recovered from disk, so the restored cache
+        is indistinguishable from the one that was persisted.  The id
+        allocator is advanced past the restored id, keeping future
+        :meth:`add` ids collision-free.
+        """
+        if entry_id in self._entries:
+            raise ValueError(f"cache entry {entry_id!r} already exists")
+        entry = CacheEntry(
+            entry_id=entry_id,
+            graph=graph,
+            features=features,
+            answer=frozenset(answer),
+            added_at=added_at,
+            hits=hits,
+            removed=removed,
+            alleviated_cost=alleviated_cost,
+            tags=dict(tags or {}),
+            compiled_target=compiled_target,
+            compiled_plan=compiled_plan,
+        )
+        self._entries[entry.entry_id] = entry
+        self._next_id = max(self._next_id, entry_id + 1)
+        return entry
+
+    @property
+    def next_entry_id(self) -> int:
+        """The id the next :meth:`add` will assign (restore bookkeeping)."""
+        return self._next_id
+
+    def reserve_ids(self, next_id: int) -> None:
+        """Advance the id allocator to at least ``next_id`` (warm restart)."""
+        self._next_id = max(self._next_id, next_id)
+
     def remove(self, entry_id: int) -> CacheEntry:
         """Remove and return the entry with ``entry_id``.
 

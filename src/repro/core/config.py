@@ -16,7 +16,10 @@ accretion with a small tree of frozen dataclasses:
   per-tenant fairness weights, ``max_in_flight`` admission quotas, rate
   limits and query timeouts consumed by the multi-tenant scheduler and the
   network server;
-* :class:`EngineConfig` — the composition of the five plus the query mode,
+* :class:`PersistConfig` — durable cache state: the WAL/snapshot directory,
+  fsync discipline and snapshot budget consumed by :mod:`repro.persist`,
+  plus the leader address for read-only followers;
+* :class:`EngineConfig` — the composition of the sections plus the query mode,
   which is what :meth:`~repro.core.engine.IGQ.from_config`, the experiment
   runner and :class:`~repro.service.GraphQueryService` consume.
 
@@ -46,6 +49,7 @@ __all__ = [
     "ShardConfig",
     "TenantConfig",
     "ServiceConfig",
+    "PersistConfig",
     "EngineConfig",
     "validate_query_mode",
 ]
@@ -76,6 +80,7 @@ _KERNELS = ("auto", "bigint", "numpy", "native")
 _POLICIES = ("utility", "hit_rate", "fifo")
 _BATCH_BACKENDS = ("auto", "sequential", "thread", "process")
 _SHARD_BACKENDS = ("auto", "inline", "process")
+_FSYNC_MODES = ("always", "flush", "never")
 
 
 class ConfigError(ValueError):
@@ -372,6 +377,55 @@ class ServiceConfig:
 
 
 @dataclass(frozen=True)
+class PersistConfig:
+    """Durable cache state: the WAL + snapshot store of :mod:`repro.persist`.
+
+    Persistence is off by default (``dir=None``): the engine then behaves
+    exactly as before, keeping all cache state in memory.  Setting ``dir``
+    turns every window flush into a durable WAL batch and warm-starts the
+    engine from disk on the next open with the same directory.
+    """
+
+    #: WAL/snapshot directory (``None`` = persistence off).  Each engine
+    #: needs its own directory; segments and snapshots inside it are
+    #: managed by the persister.
+    dir: str | None = None
+    #: fsync discipline: ``"flush"`` (default) fsyncs once per window-flush
+    #: batch — a crash loses at most the un-flushed window; ``"always"``
+    #: fsyncs every record; ``"never"`` leaves flushing to the OS (fastest,
+    #: weakest — survives process crash but not power loss)
+    fsync: str = "flush"
+    #: write a compacted snapshot and rotate the WAL segment once this many
+    #: records have accumulated since the last snapshot
+    snapshot_interval: int = 256
+    #: leader address (``"host:port"``) for follower mode: instead of
+    #: serving queries, the engine's shard state mirrors a remote leader's
+    #: delta log over the wire protocol (read-only probes)
+    follow: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.dir is not None:
+            _require(
+                isinstance(self.dir, str) and self.dir,
+                f"persist.dir={self.dir!r} is not valid; expected a non-empty "
+                "path string (or None to disable persistence)",
+            )
+        _require_choice("persist", "fsync", self.fsync, _FSYNC_MODES)
+        _require_positive_int("persist", "snapshot_interval", self.snapshot_interval)
+        if self.follow is not None:
+            _require(
+                isinstance(self.follow, str) and ":" in self.follow,
+                f"persist.follow={self.follow!r} is not valid; expected a "
+                "'host:port' leader address (or None)",
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when a durable directory is configured."""
+        return self.dir is not None
+
+
+@dataclass(frozen=True)
 class EngineConfig:
     """Everything needed to construct (and drive) an iGQ engine.
 
@@ -391,6 +445,7 @@ class EngineConfig:
     batch: BatchConfig = field(default_factory=BatchConfig)
     shard: ShardConfig = field(default_factory=ShardConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    persist: PersistConfig = field(default_factory=PersistConfig)
 
     def __post_init__(self) -> None:
         _require_choice("engine", "mode", self.mode, MODES)
@@ -451,4 +506,5 @@ _SECTIONS = {
     "batch": BatchConfig,
     "shard": ShardConfig,
     "service": ServiceConfig,
+    "persist": PersistConfig,
 }

@@ -21,6 +21,8 @@ candidate set from above.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 import warnings
 from dataclasses import dataclass, field, replace
@@ -279,6 +281,115 @@ class IGQ:
         #: alive, keeping the id stable (same scheme as the sharded
         #: engine's routing memo and the batch executor's feature memo).
         self._feature_memo: dict[int, tuple[LabeledGraph, GraphFeatures]] = {}
+        #: durable WAL/snapshot store (:mod:`repro.persist`), attached when
+        #: ``config.persist.dir`` is set; the sharded subclass defers the
+        #: attach until its own state exists (warm restart needs it).
+        self.persister = None
+        if not self._defer_persist:
+            self._attach_persistence()
+
+    #: subclasses with post-``__init__`` state of their own set this and
+    #: call :meth:`_attach_persistence` themselves once that state exists
+    _defer_persist = False
+
+    def _attach_persistence(self) -> None:
+        """Attach (and possibly warm-start from) the configured persister.
+
+        ``REPRO_FORCE_PERSIST_DIR`` force-enables write-only persistence
+        into a fresh private directory under the named path for engines
+        with no ``persist`` section — the CI lever that runs the whole
+        suite with the durability path exercised.
+        """
+        persist = self.config.persist
+        if not persist.enabled:
+            forced = os.environ.get("REPRO_FORCE_PERSIST_DIR")
+            if not forced:
+                return
+            os.makedirs(forced, exist_ok=True)
+            persist = replace(
+                persist,
+                dir=tempfile.mkdtemp(prefix="engine-", dir=forced),
+                fsync="never",
+            )
+        from ..persist.restore import attach_persistence
+
+        self.persister = attach_persistence(self, persist)
+
+    def _persist_flush(self) -> None:
+        """Hand a just-completed window flush to the persister (if any)."""
+        if self.persister is not None:
+            self.persister.record_flush(self)
+
+    def _close_persister(self) -> None:
+        """Flush and close the durable store before anything else tears down."""
+        persister = getattr(self, "persister", None)
+        if persister is not None:
+            persister.close()
+
+    # ------------------------------------------------------------------
+    # Persistence state capture / restore (see :mod:`repro.persist.restore`)
+    # ------------------------------------------------------------------
+    def persist_state(self) -> dict:
+        """The engine's small mutable state, captured at a flush boundary.
+
+        Everything the warm restart cannot rebuild from the delta records
+        themselves: the global query counter, the id allocator, and the
+        per-entry §5.1 replacement statistics.  The sharded engine extends
+        this with its placement/replication state.
+        """
+        cache = self.cache
+        return {
+            "format": 1,
+            "mode": self.mode,
+            "shards": getattr(self, "num_shards", 1),
+            "query_counter": cache.query_counter,
+            "next_id": cache.next_entry_id,
+            "entry_stats": {
+                entry.entry_id: (entry.hits, entry.removed, entry.alleviated_cost)
+                for entry in cache.entries()
+            },
+        }
+
+    def persist_entry_meta(self, entry_id: int) -> dict:
+        """An entry's immutable extras that delta records do not carry."""
+        entry = self.cache.get(entry_id)
+        return {
+            "answer": entry.answer,
+            "tags": dict(entry.tags),
+            "added_at": entry.added_at,
+        }
+
+    def apply_persist_state(self, entries, state: dict) -> None:
+        """Rebuild the cache and component indexes from recovered state.
+
+        ``entries`` is the recovered live set — ``(kind, shard_entry,
+        targets, meta)`` tuples in ascending id order; ``state`` is the
+        matching :meth:`persist_state` capture.  Compiled payloads ride in
+        on the shard entries, so nothing recompiles.
+        """
+        cache = self.cache
+        stats = state.get("entry_stats", {})
+        for _kind, shard_entry, _targets, meta in entries:
+            hits, removed, cost = stats.get(shard_entry.entry_id, (0, 0, 0.0))
+            cache.restore_entry(
+                shard_entry.entry_id,
+                shard_entry.graph,
+                shard_entry.features,
+                meta["answer"],
+                meta["added_at"],
+                meta["tags"],
+                hits=hits,
+                removed=removed,
+                alleviated_cost=cost,
+                compiled_target=shard_entry.compiled_target,
+                compiled_plan=shard_entry.compiled_plan,
+            )
+        cache.query_counter = state.get("query_counter", 0)
+        cache.reserve_ids(state.get("next_id", 0))
+        if self.isub is not None:
+            self.isub.rebuild(cache)
+        if self.isuper is not None:
+            self.isuper.rebuild(cache)
 
     @classmethod
     def from_config(
@@ -690,8 +801,12 @@ class IGQ:
         The single-shard engine performs the §5.2 shadow rebuild through
         :class:`IndexMaintenance`; the sharded engine overrides this to emit
         ordered :class:`~repro.core.shard.CacheDelta` records instead.
+        Either way the flush boundary is where the durable store commits —
+        crash recovery always lands on a state some flush produced.
         """
-        return self.maintenance.flush(self.cache, self.isub, self.isuper)
+        report = self.maintenance.flush(self.cache, self.isub, self.isuper)
+        self._persist_flush()
+        return report
 
     # ------------------------------------------------------------------
     # Batched execution
@@ -757,10 +872,13 @@ class IGQ:
         with it — but the method is part of the engine contract so callers
         (and :class:`~repro.service.GraphQueryService`) can close any engine
         uniformly; :class:`~repro.core.shard.ShardedIGQ` terminates its
-        long-lived shard worker pools here.  Any shared-memory snapshot
+        long-lived shard worker pools here.  The durable store (when
+        configured) flushes and fsyncs its WAL tail *first* — durability
+        must never race pool teardown.  Any shared-memory snapshot
         segments the method still holds (e.g. because an executor crashed
         before its own ``close``) are force-unlinked as a safety net.
         """
+        self._close_persister()
         self.method.release_shared_payloads()
 
     def __enter__(self) -> "IGQ":

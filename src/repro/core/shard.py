@@ -186,6 +186,24 @@ class CacheDelta:
     targets: tuple[int, ...] | None = None
 
 
+def record_size_bytes(record: CacheDelta) -> int:
+    """Estimated in-memory footprint of one delta record.
+
+    Same per-graph cost model as ``IGQ.index_size_bytes`` (compiled
+    payloads excluded — they are shared with the live cache entry, so
+    folding a record does not reclaim them).
+    """
+    size = 96
+    entry = record.entry
+    if entry is not None:
+        graph = entry.graph
+        size += 80 + 56 * graph.num_vertices + 48 * graph.num_edges
+        size += 40 + 24 * len(entry.features.counts)
+    if record.targets is not None:
+        size += 8 * len(record.targets)
+    return size
+
+
 class DeltaLogTruncated(RuntimeError):
     """A subscriber asked for records older than the compaction floor."""
 
@@ -205,6 +223,10 @@ class DeltaLog:
         self._version = 0
         self._epoch = 0
         self._floor_version = 0
+        # Lifetime compaction totals (compact_stats); unlike the engine's
+        # per-phase counters these are never reset.
+        self._records_folded_total = 0
+        self._bytes_reclaimed = 0
 
     # ------------------------------------------------------------------
     @property
@@ -414,10 +436,31 @@ class DeltaLog:
             list(live.values()) + list(replicated.values()),
             key=lambda r: r.version,
         )
+        kept = {id(record) for record in retained}
+        self._bytes_reclaimed += sum(
+            record_size_bytes(record)
+            for record in self._records
+            if record.version <= up_to_version and id(record) not in kept
+        )
         removed = len(self._records) - len(retained) - len(suffix)
         self._records = retained + suffix
         self._floor_version = up_to_version
+        self._records_folded_total += removed
         return removed
+
+    def compact_stats(self) -> dict:
+        """Lifetime compaction totals: what folding has bought so far.
+
+        ``records_folded`` and ``bytes_reclaimed`` (the estimated in-memory
+        size of the dropped records, same per-graph cost model as
+        ``index_size_bytes``) accumulate across every :meth:`compact` call;
+        ``floor_version`` is the current replay floor.
+        """
+        return {
+            "records_folded": self._records_folded_total,
+            "bytes_reclaimed": self._bytes_reclaimed,
+            "floor_version": self._floor_version,
+        }
 
 
 class ReplicaGroup:
@@ -1472,6 +1515,7 @@ class ShardedIGQ(IGQ):
         if self.num_shards == 1:
             # A/B baseline: exactly today's single-shard engine.
             self.shard_backend = "inline"
+            self._attach_persistence()
             return
         if shard_backend == "auto":
             shard_backend = "process" if effective_cpu_count() > 1 else "inline"
@@ -1486,6 +1530,75 @@ class ShardedIGQ(IGQ):
             self.shard_runtime = _ProcessShardRuntime(self)
         else:
             self.shard_runtime = _InlineShardRuntime(self)
+        # Deferred from the base __init__ (``_defer_persist``): a warm
+        # restart needs the delta log, the runtime and the placement maps
+        # above to exist before recovered state can be applied.
+        self._attach_persistence()
+
+    #: see IGQ._defer_persist — the sharded warm restart must run after
+    #: the shard runtime and placement state exist
+    _defer_persist = True
+
+    # ------------------------------------------------------------------
+    # Persistence state capture / restore (see :mod:`repro.persist.restore`)
+    # ------------------------------------------------------------------
+    def persist_state(self) -> dict:
+        """Base capture plus placement, replication and rebalance state."""
+        state = super().persist_state()
+        if self.num_shards == 1:
+            return state
+        state.update(
+            entry_shard=dict(self._entry_shard),
+            replica_targets=dict(self._replica_targets),
+            probe_hits=dict(self._probe_hits),
+            pending_hot=sorted(self._pending_hot),
+            shard_probe_load=list(self._shard_probe_load),
+            flush_count=self._flush_count,
+            moves_applied=self._moves_applied,
+            replicas_created=self._replicas_created,
+            records_folded=self._records_folded,
+        )
+        return state
+
+    def apply_persist_state(self, entries, state: dict) -> None:
+        """Warm-start: restore the cache, then rebuild shards from a fresh log.
+
+        The recovered placement is replayed into the (empty) delta log as
+        one synthetic bootstrap flush — an ``insert`` per home entry, a
+        ``replicate`` per hot entry — and synced to the runtime, so every
+        replica ends up exactly where the persisted engine had it, with
+        freshly numbered versions consistent with the new on-disk segment.
+        """
+        super().apply_persist_state(entries, state)
+        if self.num_shards == 1:
+            return
+        self._entry_shard = dict(state["entry_shard"])
+        self._replica_targets = dict(state["replica_targets"])
+        self._probe_hits = dict(state["probe_hits"])
+        self._pending_hot = set(state["pending_hot"])
+        self._shard_probe_load = list(state["shard_probe_load"])
+        self._flush_count = state["flush_count"]
+        self._moves_applied = state["moves_applied"]
+        self._replicas_created = state["replicas_created"]
+        self._records_folded = state["records_folded"]
+        for entry_id in self._replica_targets:
+            graph = self.cache.get(entry_id).graph
+            self._hot_graphs[id(graph)] = graph
+        log = self.delta_log
+        for _kind, shard_entry, _targets, _meta in entries:
+            entry = self.cache.get(shard_entry.entry_id)
+            payload = self._make_shard_entry(entry)
+            if entry.entry_id in self._replica_targets:
+                log.append_replicate(
+                    payload, targets=self._replica_targets[entry.entry_id]
+                )
+            else:
+                log.append_insert(self._entry_shard[entry.entry_id], payload)
+        if entries:
+            log.append_flush()
+            self.shard_runtime.sync(log)
+        if self._hot:
+            self._rebuild_prune_state()
 
     # ------------------------------------------------------------------
     # Routing
@@ -1716,6 +1829,9 @@ class ShardedIGQ(IGQ):
         if self._rebalancing and self._flush_count % self.rebalance_interval == 0:
             self._moves_applied += self._rebalance(log)
         log.append_flush()
+        # Persist before compaction: the durable batch needs the raw tail,
+        # and the compaction floor never passes what was just persisted.
+        self._persist_flush()
         self.shard_runtime.sync(log)
         if self.compact_threshold is not None and len(log) > self.compact_threshold:
             self._records_folded += log.compact(self.shard_runtime.progress())
@@ -1897,6 +2013,9 @@ class ShardedIGQ(IGQ):
                 "version": log.version if log is not None else 0,
                 "floor_version": log.floor_version if log is not None else 0,
                 "records_folded": self._records_folded,
+                "bytes_reclaimed": (
+                    log.compact_stats()["bytes_reclaimed"] if log is not None else 0
+                ),
             },
         }
 
@@ -1918,10 +2037,14 @@ class ShardedIGQ(IGQ):
     def close(self) -> None:
         """Shut down the shard runtime (worker pools); idempotent.
 
-        Order matters: the runtime releases its reference on the published
-        snapshot segment first, then the base class force-unlinks whatever
-        is left (see :meth:`repro.core.engine.IGQ.close`).
+        Order matters: the durable store flushes and fsyncs its WAL tail
+        *before* the pools go down (a close must never lose a persisted
+        flush to teardown), then the runtime releases its reference on the
+        published snapshot segment, then the base class force-unlinks
+        whatever shared-memory is left (see
+        :meth:`repro.core.engine.IGQ.close`).
         """
+        self._close_persister()
         if self.shard_runtime is not None:
             self.shard_runtime.close()
         super().close()

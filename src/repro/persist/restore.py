@@ -1,0 +1,386 @@
+"""Warm restart: the per-engine persister and its recovery procedure.
+
+:class:`CachePersister` is attached by the engine when
+``EngineConfig.persist.dir`` is set.  It turns every window flush into one
+durable WAL batch — the flush's delta records, a ``meta`` record carrying
+the immutable extras of the entries that entered the cache, and a
+``state`` record with the engine's small mutable state (the batch's commit
+marker) — and periodically folds everything into an atomic snapshot,
+rotating the WAL segment at the same version.
+
+Recovery inverts that: load the newest valid snapshot, replay the
+segments at or above its version, and *commit* only at ``state`` records.
+A crash mid-batch therefore lands on the previous flush boundary — the
+engine restarts exactly as if the queries after that flush were never
+submitted, which is the strongest prefix-consistency a window-flushed
+cache can offer (and what the fault-injection tests assert).
+
+Two engine shapes share the machinery:
+
+* the sharded engine already maintains an in-memory
+  :class:`~repro.core.shard.DeltaLog`; the persister serialises its tail;
+* the single-shard engine has no log, so the persister keeps a private
+  *mirror* log, diffing the cache's entry ids across flushes.  The mirror
+  doubles as the replication source for remote followers of single-shard
+  leaders (:mod:`repro.persist.replicate`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.config import ConfigError, PersistConfig
+from ..core.shard import (
+    DELTA_EVICT,
+    DELTA_FLUSH,
+    DELTA_INSERT,
+    DELTA_MOVE,
+    DELTA_REPLICATE,
+    DeltaLog,
+    ShardEntry,
+)
+from . import snapshot, wal
+
+__all__ = ["CachePersister", "RecoveredState", "attach_persistence", "recover_dir"]
+
+#: bump on any incompatible change to the record/state schema
+FORMAT_VERSION = 1
+
+#: live-entry kinds inside snapshots and recovered state
+KIND_HOME = "home"
+KIND_REPLICA = "replica"
+
+#: records the private mirror log may accumulate before it self-compacts
+_MIRROR_COMPACT_THRESHOLD = 1024
+
+
+class RecoveredState:
+    """What recovery found on disk: live entries plus the committed state."""
+
+    def __init__(self, live: dict, meta: dict, state: dict) -> None:
+        #: ``entry_id -> (kind, ShardEntry, targets)`` at the last commit
+        self.live = live
+        #: ``entry_id -> {"answer", "tags", "added_at"}``
+        self.meta = meta
+        #: the last committed ``state`` record (flush-boundary engine state)
+        self.state = state
+
+    def entries(self) -> list[tuple[str, ShardEntry, tuple | None, dict]]:
+        """The live entries in ascending id order, joined with their meta."""
+        return [
+            (*self.live[entry_id], self.meta[entry_id])
+            for entry_id in sorted(self.live)
+        ]
+
+
+def recover_dir(path: Path) -> RecoveredState | None:
+    """Rebuild the last committed cache state from ``path`` (or ``None``).
+
+    Torn segment tails are truncated in place; a torn record in a non-last
+    segment invalidates every later segment (they were written after the
+    torn point, so their records would replay out of order).
+    """
+    path = Path(path)
+    live: dict = {}
+    meta: dict = {}
+    state: dict | None = None
+    snap_version = 0
+    loaded = snapshot.load_latest_snapshot(path)
+    if loaded is not None:
+        snap_version, payload = loaded
+        live = dict(payload.get("live", {}))
+        meta = dict(payload.get("meta", {}))
+        state = payload.get("state")
+    committed = (dict(live), dict(meta), state)
+    for start_version, segment in wal.list_segments(path):
+        if start_version < snap_version:
+            continue
+        scan = wal.read_segment(segment, repair=True)
+        for record in scan.records:
+            if not (isinstance(record, tuple) and len(record) == 2):
+                continue
+            kind, payload = record
+            if kind == "delta":
+                _apply_delta(live, meta, payload)
+            elif kind == "meta":
+                meta.update(payload)
+            elif kind == "state":
+                state = payload
+                committed = (dict(live), dict(meta), state)
+        if not scan.clean:
+            break
+    live, meta, state = committed
+    if state is None:
+        return None
+    return RecoveredState(live, meta, state)
+
+
+def _apply_delta(live: dict, meta: dict, record) -> None:
+    """Fold one replayed delta into the live-entry map."""
+    if record.op == DELTA_INSERT:
+        live[record.entry_id] = (KIND_HOME, record.entry, None)
+    elif record.op == DELTA_REPLICATE:
+        live[record.entry_id] = (KIND_REPLICA, record.entry, record.targets)
+    elif record.op == DELTA_MOVE:
+        live[record.entry_id] = (KIND_HOME, record.entry, None)
+    elif record.op == DELTA_EVICT:
+        live.pop(record.entry_id, None)
+        meta.pop(record.entry_id, None)
+    elif record.op != DELTA_FLUSH:
+        raise ValueError(f"unknown delta op {record.op!r} in WAL replay")
+
+
+def attach_persistence(engine, config: PersistConfig) -> "CachePersister":
+    """Open (and, when the directory has state, warm-start from) ``config``."""
+    return CachePersister(engine, config)
+
+
+class CachePersister:
+    """Durable WAL + snapshot store behind one engine (see module docs)."""
+
+    def __init__(self, engine, config: PersistConfig) -> None:
+        self.config = config
+        self.path = Path(config.dir)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.fsync = config.fsync
+        self.snapshot_interval = config.snapshot_interval
+        self._closed = False
+        self._writer: wal.WalWriter | None = None
+        #: entry ids whose immutable extras already have a ``meta`` record
+        #: in the current segment
+        self._meta_written: set[int] = set()
+        self._records_since_snapshot = 0
+        #: whether this open actually rebuilt state from disk
+        self.restored = False
+
+        recovered = recover_dir(self.path)
+        if recovered is not None:
+            self._check_compatible(engine, recovered.state)
+            entries = recovered.entries()
+            engine.apply_persist_state(entries, recovered.state)
+            self.restored = bool(entries) or recovered.state.get("query_counter", 0) > 0
+
+        # Replication source: the sharded engine's own delta log, or a
+        # private mirror for engines without one.
+        self._mirror: DeltaLog | None = None
+        self._seen: set[int] = set()
+        #: the mirror's private ShardEntry copies, so an eviction can
+        #: release the copy's compiled-payload pointers (the live count of
+        #: compiled objects must stay bounded by the cache, not by the
+        #: mirror's compaction cadence)
+        self._mirror_copies: dict[int, ShardEntry] = {}
+        if getattr(engine, "delta_log", None) is None:
+            self._mirror = DeltaLog()
+            ids = engine.cache.entry_ids()
+            for entry_id in ids:
+                copy = _shard_entry_of(engine, engine.cache.get(entry_id))
+                self._mirror_copies[entry_id] = copy
+                self._mirror.append_insert(0, copy)
+            if ids:
+                self._mirror.append_flush()
+            self._seen = set(ids)
+        self._last_version = self._log(engine).version
+        # Fresh on-disk base: fold whatever we just restored (or the empty
+        # state) into a snapshot and start a clean segment at its version,
+        # so the rebuilt log's version numbering matches the disk layout.
+        # ``wipe`` drops every other artifact: the rebuilt log restarts
+        # version numbering from the live-entry count, so the previous
+        # incarnation's higher-versioned files would otherwise outrank the
+        # new snapshot at the next recovery.
+        self._checkpoint(engine, wipe=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def replication_log(self) -> DeltaLog | None:
+        """The log remote followers replay (mirror for single-shard)."""
+        return self._mirror
+
+    def _log(self, engine) -> DeltaLog:
+        log = getattr(engine, "delta_log", None)
+        return log if log is not None else self._mirror
+
+    @staticmethod
+    def _check_compatible(engine, state: dict) -> None:
+        if state.get("format") != FORMAT_VERSION:
+            raise ConfigError(
+                f"persist.dir holds format {state.get('format')!r} state; "
+                f"this build reads format {FORMAT_VERSION} (use a fresh "
+                "directory)"
+            )
+        shards = getattr(engine, "num_shards", 1)
+        if state.get("mode") != engine.mode or state.get("shards") != shards:
+            raise ConfigError(
+                f"persist.dir was written by a mode={state.get('mode')!r} "
+                f"shards={state.get('shards')!r} engine and cannot warm-start "
+                f"a mode={engine.mode!r} shards={shards!r} one; point it at a "
+                "fresh directory (or restore with the original configuration)"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-flush append path
+    # ------------------------------------------------------------------
+    def record_flush(self, engine) -> None:
+        """Persist one window flush: its deltas, new-entry meta, and state."""
+        if self._closed:
+            return
+        if self._mirror is not None:
+            self._mirror_flush(engine)
+        log = self._log(engine)
+        records = log.since(self._last_version)
+        if not records:
+            return
+        writer = self._writer
+        always = self.fsync == "always"
+        fresh_meta: dict = {}
+        for record in records:
+            if record.op == DELTA_EVICT:
+                self._meta_written.discard(record.entry_id)
+            elif record.entry is not None and record.entry_id not in self._meta_written:
+                fresh_meta[record.entry_id] = engine.persist_entry_meta(record.entry_id)
+                self._meta_written.add(record.entry_id)
+            writer.append(("delta", record), sync=always)
+        if fresh_meta:
+            writer.append(("meta", fresh_meta), sync=always)
+        writer.append(("state", engine.persist_state()), sync=always)
+        if self.fsync == "flush":
+            writer.sync()
+        elif self.fsync == "never":
+            writer.flush()
+        self._last_version = log.version
+        self._records_since_snapshot += len(records) + 2
+        if self._records_since_snapshot >= self.snapshot_interval:
+            self._checkpoint(engine)
+        elif self._mirror is not None and len(self._mirror) > _MIRROR_COMPACT_THRESHOLD:
+            # Bound the mirror's memory; everything up to _last_version is
+            # on disk, so folding it only affects (and resets) very stale
+            # remote followers — exactly the DeltaLogTruncated contract.
+            self._mirror.compact(self._last_version)
+
+    def _mirror_flush(self, engine) -> None:
+        """Diff the cache against the last flush into mirror-log records."""
+        current = set(engine.cache.entry_ids())
+        evicted = sorted(self._seen - current)
+        inserted = sorted(current - self._seen)
+        if not evicted and not inserted:
+            return
+        for entry_id in evicted:
+            self._mirror.append_evict(0, entry_id)
+            # The victim's insert record hit the WAL (payloads included) in
+            # an earlier flush batch, and the wire feed never ships
+            # compiled state — only this private copy still pins it.
+            copy = self._mirror_copies.pop(entry_id, None)
+            if copy is not None:
+                copy.release_compiled()
+        for entry_id in inserted:
+            copy = _shard_entry_of(engine, engine.cache.get(entry_id))
+            self._mirror_copies[entry_id] = copy
+            self._mirror.append_insert(0, copy)
+        self._mirror.append_flush()
+        self._seen = current
+
+    # ------------------------------------------------------------------
+    # Snapshot + segment rotation
+    # ------------------------------------------------------------------
+    def _checkpoint(self, engine, wipe: bool = False) -> None:
+        """Fold the engine's current state into a snapshot; rotate the WAL."""
+        log = self._log(engine)
+        version = log.version
+        replica_targets = getattr(engine, "_replica_targets", None) or {}
+        live: dict = {}
+        meta: dict = {}
+        for entry_id in engine.cache.entry_ids():
+            entry = engine.cache.get(entry_id)
+            if entry_id in replica_targets:
+                kind, targets = KIND_REPLICA, replica_targets[entry_id]
+            else:
+                kind, targets = KIND_HOME, None
+            live[entry_id] = (kind, _shard_entry_of(engine, entry), targets)
+            meta[entry_id] = engine.persist_entry_meta(entry_id)
+        payload = {
+            "format": FORMAT_VERSION,
+            "version": version,
+            "epoch": log.epoch,
+            "live": live,
+            "meta": meta,
+            "state": engine.persist_state(),
+        }
+        snapshot.write_snapshot(self.path, version, payload, fsync=self.fsync != "never")
+        if self._writer is not None:
+            self._writer.close()
+        segment_path = self.path / wal.segment_name(version)
+        # Never append behind a leftover segment of the same name (a prior
+        # incarnation may have used this version before crashing).
+        segment_path.unlink(missing_ok=True)
+        self._writer = wal.WalWriter(segment_path, fsync_mode=self.fsync)
+        self._meta_written = set(live)
+        self._records_since_snapshot = 0
+        if wipe:
+            for other_version, other in snapshot.list_snapshots(self.path):
+                if other_version != version:
+                    other.unlink(missing_ok=True)
+            for other_version, other in wal.list_segments(self.path):
+                if other_version != version:
+                    other.unlink(missing_ok=True)
+            for stray in self.path.glob("*.tmp"):
+                stray.unlink(missing_ok=True)
+        else:
+            snapshot.prune_snapshots(self.path, version)
+            wal.prune_segments(self.path, version)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush (and, unless ``fsync="never"``, fsync) the WAL tail.
+
+        Called by the engine *before* it shuts worker pools down, so a
+        clean close never races durability against teardown; idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._writer is not None:
+            if self.fsync != "never":
+                self._writer.sync()
+            self._writer.close()
+            self._writer = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def stats(self) -> dict:
+        """Store health: directory, segment/snapshot counts, cursor."""
+        segments = wal.list_segments(self.path)
+        snapshots = snapshot.list_snapshots(self.path)
+        return {
+            "dir": str(self.path),
+            "segments": len(segments),
+            "snapshots": len(snapshots),
+            "last_version": self._last_version,
+            "records_since_snapshot": self._records_since_snapshot,
+            "restored": self.restored,
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<CachePersister {state} dir={str(self.path)!r} fsync={self.fsync!r}>"
+
+
+def _shard_entry_of(engine, entry) -> ShardEntry:
+    """The replica payload of a cache entry, via the engine when sharded.
+
+    The sharded engine's builder compiles missing payloads exactly once in
+    the parent; single-shard engines compiled on index insertion already,
+    so a plain structural copy shares the same objects.
+    """
+    make = getattr(engine, "_make_shard_entry", None)
+    if make is not None:
+        return make(entry)
+    return ShardEntry(
+        entry_id=entry.entry_id,
+        graph=entry.graph,
+        features=entry.features,
+        compiled_target=entry.compiled_target,
+        compiled_plan=entry.compiled_plan,
+    )

@@ -689,7 +689,13 @@ class GraphQueryService:
             delta_log=(
                 shard_stats["delta_log"]
                 if shard_stats
-                else {"length": 0, "version": 0, "floor_version": 0, "records_folded": 0}
+                else {
+                    "length": 0,
+                    "version": 0,
+                    "floor_version": 0,
+                    "records_folded": 0,
+                    "bytes_reclaimed": 0,
+                }
             ),
             kernel_resolved={
                 "configured": self.config.verifier.kernel,

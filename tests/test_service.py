@@ -395,6 +395,7 @@ class TestSessionsAndStats:
         assert report.replicas_live == 0
         assert report.delta_log == {
             "length": 0, "version": 0, "floor_version": 0, "records_folded": 0,
+            "bytes_reclaimed": 0,
         }
 
     def test_reset_engine_stats_keeps_placement(self, database, mixed_stream):
